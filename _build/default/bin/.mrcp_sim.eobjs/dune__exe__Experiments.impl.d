@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Cmd Cmdliner Expkit Filename List Printf Report String Term Unix

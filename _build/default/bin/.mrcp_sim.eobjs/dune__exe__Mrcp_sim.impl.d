@@ -1,0 +1,1 @@
+bin/mrcp_sim.ml: Arg Baselines Cmd Cmdliner Cp Expkit Format Logs Mapreduce Mrcp Opensim Printf Report Sched Term

@@ -1,0 +1,1 @@
+bin/mrcp_sim.mli:

@@ -1,0 +1,1 @@
+bin/workload_gen.ml: Arg Array Cmd Cmdliner List Mapreduce Printf Term

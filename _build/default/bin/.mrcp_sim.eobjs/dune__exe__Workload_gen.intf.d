@@ -1,0 +1,1 @@
+bin/workload_gen.mli:

@@ -1,0 +1,146 @@
+(* Regenerate every table/figure of the paper's evaluation (§VI).
+
+   Usage:
+     dune exec bin/experiments.exe -- fig7
+     dune exec bin/experiments.exe -- all --reps 5 --jobs 400 --out results/
+     dune exec bin/experiments.exe -- fig2 --fb-jobs 300
+
+   Each figure prints an ASCII table (and optionally writes CSV).  Shapes to
+   compare against the paper are recorded in EXPERIMENTS.md. *)
+
+open Cmdliner
+
+let figure_of_id config ~lambdas ~id =
+  match id with
+  | "fig2" | "fig3" | "fig2-3" -> Expkit.Figures.fig2_3 ~config ~lambdas
+  | "fig4" -> Expkit.Figures.fig4 ~config
+  | "fig5" -> Expkit.Figures.fig5 ~config
+  | "fig6" -> Expkit.Figures.fig6 ~config
+  | "fig7" -> Expkit.Figures.fig7 ~config
+  | "fig8" -> Expkit.Figures.fig8 ~config
+  | "fig9" -> Expkit.Figures.fig9 ~config
+  | "ablation-ordering" -> Expkit.Figures.ablation_ordering ~config
+  | "ablation-cp" -> Expkit.Figures.ablation_cp ~config
+  | "ablation-deferral" -> Expkit.Figures.ablation_deferral ~config
+  | other -> failwith (Printf.sprintf "unknown figure %S" other)
+
+let all_ids =
+  [
+    "fig2-3"; "fig4"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9";
+    "ablation-ordering"; "ablation-cp"; "ablation-deferral"; "ablation-lp";
+    "ablation-decomp";
+  ]
+
+let run_ids ids reps jobs fb_jobs seed budget out validate lambdas =
+  let base =
+    {
+      Expkit.Runner.default_config with
+      Expkit.Runner.reps;
+      base_seed = seed;
+      solver_time_limit = budget;
+      validate;
+    }
+  in
+  List.iter
+    (fun id ->
+      if id = "ablation-decomp" then begin
+        let t0 = Unix.gettimeofday () in
+        let rows = Expkit.Decomp.run ~seed () in
+        print_string (Expkit.Decomp.render rows);
+        Printf.printf "(generated in %.1fs)\n\n%!" (Unix.gettimeofday () -. t0);
+        match out with
+        | Some dir ->
+            (try Unix.mkdir dir 0o755
+             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            let path = Filename.concat dir "ablation-decomp.csv" in
+            Report.Table.write_file ~path (Expkit.Decomp.to_csv rows);
+            Printf.printf "wrote %s\n\n%!" path
+        | None -> ()
+      end
+      else if id = "ablation-lp" then begin
+        (* solver-vs-solver table, not a simulation figure *)
+        let t0 = Unix.gettimeofday () in
+        let rows = Expkit.Cp_vs_lp.run ~seed () in
+        print_string (Expkit.Cp_vs_lp.render rows);
+        Printf.printf "(generated in %.1fs)\n\n%!" (Unix.gettimeofday () -. t0);
+        match out with
+        | Some dir ->
+            (try Unix.mkdir dir 0o755
+             with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            let path = Filename.concat dir "ablation-lp.csv" in
+            Report.Table.write_file ~path (Expkit.Cp_vs_lp.to_csv rows);
+            Printf.printf "wrote %s\n\n%!" path
+        | None -> ()
+      end
+      else begin
+      let config =
+        (* the Facebook comparison uses its own job count: 1000 in the paper *)
+        if String.length id >= 4 && String.sub id 0 4 = "fig2" then
+          { base with Expkit.Runner.n_jobs = fb_jobs }
+        else { base with Expkit.Runner.n_jobs = jobs }
+      in
+      let t0 = Unix.gettimeofday () in
+      let fig = figure_of_id config ~lambdas ~id in
+      print_string (Expkit.Figures.render fig);
+      Printf.printf "(generated in %.1fs)\n\n%!" (Unix.gettimeofday () -. t0);
+      match out with
+      | Some dir ->
+          (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          let path = Filename.concat dir (fig.Expkit.Figures.id ^ ".csv") in
+          Report.Table.write_file ~path (Expkit.Figures.to_csv fig);
+          Printf.printf "wrote %s\n\n%!" path
+      | None -> ()
+      end)
+    ids;
+  0
+
+let ids_arg =
+  let doc =
+    "Figures to regenerate: fig2-3 fig4..fig9, ablation-ordering, \
+     ablation-cp, ablation-deferral, or 'all'."
+  in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"FIGURE" ~doc)
+
+let reps = Arg.(value & opt int 3 & info [ "reps" ] ~doc:"Replications per point.")
+let jobs = Arg.(value & opt int 200 & info [ "jobs" ] ~doc:"Jobs per synthetic run.")
+
+let fb_jobs =
+  Arg.(value & opt int 300
+       & info [ "fb-jobs" ] ~doc:"Jobs per Facebook-workload run (paper: 1000).")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed.")
+
+let budget =
+  Arg.(value & opt float 0.2
+       & info [ "budget" ] ~doc:"CP solver time budget per invocation (s).")
+
+let out =
+  Arg.(value & opt (some string) None
+       & info [ "out" ] ~doc:"Directory for CSV output.")
+
+let validate =
+  Arg.(value & flag
+       & info [ "validate" ]
+           ~doc:"Run the full feasibility oracle during simulation (slow).")
+
+let lambdas =
+  Arg.(value & opt (list float) [ 0.0001; 0.0002; 0.0003; 0.0004; 0.0005 ]
+       & info [ "lambdas" ] ~doc:"Arrival rates for the Facebook comparison.")
+
+let cmd =
+  let expand ids =
+    List.concat_map (fun id -> if id = "all" then all_ids else [ id ]) ids
+  in
+  let term =
+    Term.(
+      const (fun ids reps jobs fb_jobs seed budget out validate lambdas ->
+          run_ids (expand ids) reps jobs fb_jobs seed budget out validate
+            lambdas)
+      $ ids_arg $ reps $ jobs $ fb_jobs $ seed $ budget $ out $ validate
+      $ lambdas)
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")
+    term
+
+let () = exit (Cmd.eval' cmd)

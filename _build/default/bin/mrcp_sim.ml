@@ -1,0 +1,162 @@
+(* Single-configuration simulation CLI.
+
+   Examples:
+     dune exec bin/mrcp_sim.exe -- --jobs 100 --lambda 0.01 --manager mrcp-rm
+     dune exec bin/mrcp_sim.exe -- --workload facebook --jobs 200 \
+       --lambda 0.0003 --manager minedf-wc
+     dune exec bin/mrcp_sim.exe -- --jobs 50 --d-m 2 --validate -v *)
+
+open Cmdliner
+
+type workload = Synthetic | Facebook
+
+let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
+    seed budget ordering deferral validate verbose trace =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let config =
+    {
+      Expkit.Runner.n_jobs = jobs;
+      reps = 1;
+      base_seed = seed;
+      manager;
+      ordering;
+      solver_time_limit = budget;
+      deferral_window = deferral;
+      validate;
+    }
+  in
+  match trace with
+  | Some path -> begin
+      (* replay a saved trace (see bin/workload_gen.exe) on the given cluster *)
+      match Mapreduce.Trace.load ~path with
+      | Error e ->
+          Printf.eprintf "error loading %s: %s\n" path e;
+          1
+      | Ok trace_jobs ->
+          let cluster =
+            Mapreduce.Types.uniform_cluster ~m ~map_capacity:map_cap
+              ~reduce_capacity:reduce_cap
+          in
+          let driver =
+            match manager with
+            | Expkit.Runner.Mrcp_rm | Expkit.Runner.Greedy_only ->
+                let solver =
+                  { Cp.Solver.default_options with Cp.Solver.ordering;
+                    time_limit = budget; seed }
+                in
+                Opensim.Driver.of_mrcp
+                  (Mrcp.Manager.create ~cluster
+                     { Mrcp.Manager.solver; deferral_window = deferral;
+                       validate })
+            | Expkit.Runner.Min_edf_wc | Expkit.Runner.Edf_wc
+            | Expkit.Runner.Fcfs_wc ->
+                let policy =
+                  match manager with
+                  | Expkit.Runner.Min_edf_wc ->
+                      Baselines.Slot_scheduler.Min_edf_wc
+                  | Expkit.Runner.Edf_wc -> Baselines.Slot_scheduler.Edf_wc
+                  | _ -> Baselines.Slot_scheduler.Fcfs_wc
+                in
+                Opensim.Driver.of_slot_scheduler
+                  (Baselines.Slot_scheduler.create ~cluster ~policy)
+          in
+          let r =
+            Opensim.Simulator.run ~validate ~cluster ~driver ~jobs:trace_jobs ()
+          in
+          Format.printf "%a@." Opensim.Simulator.pp_results r;
+          (match (r.Opensim.Simulator.map_utilization,
+                  r.Opensim.Simulator.reduce_utilization) with
+          | Some mu, Some ru ->
+              Format.printf "utilization: map %.1f%%, reduce %.1f%%@."
+                (100. *. mu) (100. *. ru)
+          | _ -> ());
+          0
+    end
+  | None ->
+  let point =
+    match workload with
+    | Synthetic ->
+        Expkit.Runner.run_synthetic ~m ~map_capacity:map_cap
+          ~reduce_capacity:reduce_cap
+          ~params:
+            {
+              Mapreduce.Synthetic.default with
+              Mapreduce.Synthetic.e_max;
+              p;
+              s_max;
+              d_m;
+              lambda;
+            }
+          ~config ()
+    | Facebook ->
+        Expkit.Runner.run_facebook
+          ~params:
+            { Mapreduce.Facebook.default with Mapreduce.Facebook.lambda }
+          ~config ()
+  in
+  print_string
+    (Report.Table.render ~headers:Expkit.Runner.point_headers
+       ~rows:[ Expkit.Runner.point_row point ]
+       ());
+  0
+
+let workload_conv =
+  Arg.enum [ ("synthetic", Synthetic); ("facebook", Facebook) ]
+
+let manager_conv =
+  Arg.enum
+    [
+      ("mrcp-rm", Expkit.Runner.Mrcp_rm);
+      ("minedf-wc", Expkit.Runner.Min_edf_wc);
+      ("edf-wc", Expkit.Runner.Edf_wc);
+      ("fcfs-wc", Expkit.Runner.Fcfs_wc);
+      ("greedy-only", Expkit.Runner.Greedy_only);
+    ]
+
+let ordering_conv =
+  Arg.enum
+    [
+      ("job-id", Sched.Greedy.By_job_id);
+      ("edf", Sched.Greedy.Edf);
+      ("least-laxity", Sched.Greedy.Least_laxity);
+    ]
+
+let term =
+  Term.(
+    const run
+    $ Arg.(value & opt workload_conv Synthetic
+           & info [ "workload" ] ~doc:"synthetic (Table 3) or facebook (Table 4).")
+    $ Arg.(value & opt manager_conv Expkit.Runner.Mrcp_rm
+           & info [ "manager" ]
+               ~doc:"mrcp-rm, minedf-wc, edf-wc, fcfs-wc or greedy-only.")
+    $ Arg.(value & opt int 100 & info [ "jobs" ] ~doc:"Number of jobs.")
+    $ Arg.(value & opt float 0.01 & info [ "lambda" ] ~doc:"Arrival rate, jobs/s.")
+    $ Arg.(value & opt int 50 & info [ "e-max" ] ~doc:"Map-task time bound, s.")
+    $ Arg.(value & opt float 0.5 & info [ "p" ] ~doc:"P(s_j > arrival).")
+    $ Arg.(value & opt int 50_000 & info [ "s-max" ] ~doc:"AR offset bound, s.")
+    $ Arg.(value & opt float 5.0 & info [ "d-m" ] ~doc:"Deadline multiplier bound.")
+    $ Arg.(value & opt int 50 & info [ "m" ] ~doc:"Number of resources.")
+    $ Arg.(value & opt int 2 & info [ "map-cap" ] ~doc:"Map slots per resource.")
+    $ Arg.(value & opt int 2 & info [ "reduce-cap" ] ~doc:"Reduce slots per resource.")
+    $ Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+    $ Arg.(value & opt float 0.2 & info [ "budget" ] ~doc:"CP time budget (s).")
+    $ Arg.(value & opt ordering_conv Sched.Greedy.Edf
+           & info [ "ordering" ] ~doc:"MRCP-RM job ordering strategy.")
+    $ Arg.(value & opt (some int) (Some 300_000)
+           & info [ "deferral" ] ~doc:"Deferral window in ms (§V.E).")
+    $ Arg.(value & flag & info [ "validate" ] ~doc:"Full feasibility oracle.")
+    $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
+    $ Arg.(value & opt (some string) None
+           & info [ "trace" ]
+               ~doc:"Replay a saved workload trace (CSV) instead of generating."))
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mrcp_sim"
+       ~doc:"Run one open-system MapReduce-with-SLAs simulation")
+    term
+
+let () = exit (Cmd.eval' cmd)

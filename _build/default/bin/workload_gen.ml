@@ -1,0 +1,114 @@
+(* Workload generator CLI: produce Table-3 synthetic or Table-4 Facebook
+   job streams as CSV traces (see Mapreduce.Trace for the format).
+
+   Examples:
+     dune exec bin/workload_gen.exe -- --kind synthetic --jobs 100 \
+       --lambda 0.01 --out trace.csv
+     dune exec bin/workload_gen.exe -- --kind facebook --jobs 1000 \
+       --lambda 0.0003 --seed 7 --out fb.csv
+     dune exec bin/workload_gen.exe -- --summarize trace.csv *)
+
+open Cmdliner
+
+type kind = Synthetic | Facebook
+
+let summarize path =
+  match Mapreduce.Trace.load ~path with
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+  | Ok jobs ->
+      let n = List.length jobs in
+      let tasks =
+        List.fold_left (fun acc j -> acc + Mapreduce.Types.task_count j) 0 jobs
+      in
+      let maps =
+        List.fold_left
+          (fun acc (j : Mapreduce.Types.job) ->
+            acc + Array.length j.Mapreduce.Types.map_tasks)
+          0 jobs
+      in
+      let horizon =
+        List.fold_left
+          (fun acc (j : Mapreduce.Types.job) ->
+            max acc j.Mapreduce.Types.arrival)
+          0 jobs
+      in
+      let ar =
+        List.length
+          (List.filter
+             (fun (j : Mapreduce.Types.job) ->
+               j.Mapreduce.Types.earliest_start > j.Mapreduce.Types.arrival)
+             jobs)
+      in
+      Printf.printf
+        "%s: %d jobs, %d tasks (%d map / %d reduce), %d advance \
+         reservations, arrivals span %.1fs\n"
+        path n tasks maps (tasks - maps) ar
+        (float_of_int horizon /. 1000.);
+      0
+
+let run kind jobs lambda e_max p s_max d_m m map_cap reduce_cap seed out
+    summarize_path =
+  match summarize_path with
+  | Some path -> summarize path
+  | None ->
+      let stream =
+        match kind with
+        | Synthetic ->
+            let cluster =
+              Mapreduce.Types.uniform_cluster ~m ~map_capacity:map_cap
+                ~reduce_capacity:reduce_cap
+            in
+            Mapreduce.Synthetic.generate
+              {
+                Mapreduce.Synthetic.default with
+                Mapreduce.Synthetic.n_jobs = jobs;
+                e_max;
+                p;
+                s_max;
+                d_m;
+                lambda;
+              }
+              ~cluster ~seed
+        | Facebook ->
+            Mapreduce.Facebook.generate
+              {
+                Mapreduce.Facebook.default with
+                Mapreduce.Facebook.n_jobs = jobs;
+                lambda;
+              }
+              ~cluster:(Mapreduce.Facebook.cluster ())
+              ~seed
+      in
+      (match out with
+      | Some path ->
+          Mapreduce.Trace.save ~path stream;
+          Printf.printf "wrote %d jobs to %s\n" (List.length stream) path
+      | None -> print_string (Mapreduce.Trace.to_csv stream));
+      0
+
+let kind_conv = Arg.enum [ ("synthetic", Synthetic); ("facebook", Facebook) ]
+
+let term =
+  Term.(
+    const run
+    $ Arg.(value & opt kind_conv Synthetic & info [ "kind" ] ~doc:"synthetic or facebook.")
+    $ Arg.(value & opt int 100 & info [ "jobs" ] ~doc:"Number of jobs.")
+    $ Arg.(value & opt float 0.01 & info [ "lambda" ] ~doc:"Arrival rate, jobs/s.")
+    $ Arg.(value & opt int 50 & info [ "e-max" ] ~doc:"Map-task time bound, s.")
+    $ Arg.(value & opt float 0.5 & info [ "p" ] ~doc:"P(s_j > arrival).")
+    $ Arg.(value & opt int 50_000 & info [ "s-max" ] ~doc:"AR offset bound, s.")
+    $ Arg.(value & opt float 5.0 & info [ "d-m" ] ~doc:"Deadline multiplier bound.")
+    $ Arg.(value & opt int 50 & info [ "m" ] ~doc:"Resources (for TE).")
+    $ Arg.(value & opt int 2 & info [ "map-cap" ] ~doc:"Map slots per resource.")
+    $ Arg.(value & opt int 2 & info [ "reduce-cap" ] ~doc:"Reduce slots per resource.")
+    $ Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+    $ Arg.(value & opt (some string) None & info [ "out" ] ~doc:"Output CSV path (default stdout).")
+    $ Arg.(value & opt (some string) None
+           & info [ "summarize" ] ~doc:"Summarize an existing trace instead of generating."))
+
+let cmd =
+  Cmd.v (Cmd.info "workload_gen" ~doc:"Generate or inspect workload traces") term
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/advance_reservation.ml: Array Format List Mapreduce Mrcp Opensim

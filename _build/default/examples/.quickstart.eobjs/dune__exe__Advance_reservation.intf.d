@@ -1,0 +1,1 @@
+examples/advance_reservation.mli:

@@ -1,0 +1,1 @@
+examples/etl_pipeline.ml: Array Format Hashtbl List Mapreduce Workflow

@@ -1,0 +1,1 @@
+examples/facebook_workload.ml: Array Baselines Format Mapreduce Mrcp Opensim Sys

@@ -1,0 +1,1 @@
+examples/facebook_workload.mli:

@@ -1,0 +1,1 @@
+examples/solver_playground.ml: Array Cp Format List Mapreduce Mrcp Report Sched

@@ -1,0 +1,89 @@
+(* Advance reservations (AR): jobs whose SLA says "do not start before s_j"
+   (s_j > arrival), the request class the paper adds over prior work.  This
+   example shows (a) MRCP-RM honouring future earliest start times while
+   backfilling other work into the idle window, and (b) the §V.E deferral
+   optimization keeping far-future jobs out of the solver.
+
+   Run with:  dune exec examples/advance_reservation.exe *)
+
+module T = Mapreduce.Types
+
+let task_id = ref 0
+
+let task ~job ~kind ~seconds =
+  incr task_id;
+  {
+    T.task_id = !task_id;
+    job_id = job;
+    kind;
+    exec_time = seconds * 1000;
+    capacity_req = 1;
+  }
+
+let job ~id ~arrival_s ~start_s ~deadline_s ~maps ~reduces =
+  {
+    T.id;
+    arrival = arrival_s * 1000;
+    earliest_start = start_s * 1000;
+    deadline = deadline_s * 1000;
+    map_tasks =
+      Array.of_list
+        (List.map (fun s -> task ~job:id ~kind:T.Map_task ~seconds:s) maps);
+    reduce_tasks =
+      Array.of_list
+        (List.map (fun s -> task ~job:id ~kind:T.Reduce_task ~seconds:s) reduces);
+  }
+
+let () =
+  let cluster = T.uniform_cluster ~m:2 ~map_capacity:1 ~reduce_capacity:1 in
+  (* Two ARs booked at t=0 for windows later in the day, plus best-effort
+     jobs streaming in: the manager must keep the reserved windows clear
+     while using them for other work until the reservations begin. *)
+  let jobs =
+    [
+      (* reservation 1: a 2x40s map + 60s reduce batch at t >= 600s *)
+      job ~id:0 ~arrival_s:0 ~start_s:600 ~deadline_s:800 ~maps:[ 40; 40 ]
+        ~reduces:[ 60 ];
+      (* reservation 2: far future (t >= 3600s) — §V.E defers it *)
+      job ~id:1 ~arrival_s:0 ~start_s:3600 ~deadline_s:3900 ~maps:[ 50; 50 ]
+        ~reduces:[ 80 ];
+      (* best-effort stream *)
+      job ~id:2 ~arrival_s:10 ~start_s:10 ~deadline_s:1000 ~maps:[ 120 ]
+        ~reduces:[ 100 ];
+      job ~id:3 ~arrival_s:30 ~start_s:30 ~deadline_s:900 ~maps:[ 90; 70 ]
+        ~reduces:[];
+      job ~id:4 ~arrival_s:500 ~start_s:500 ~deadline_s:1500 ~maps:[ 200 ]
+        ~reduces:[ 60 ];
+    ]
+  in
+  let config =
+    {
+      Mrcp.Manager.default_config with
+      Mrcp.Manager.deferral_window = Some 300_000 (* §V.E: 300 s *);
+      validate = true;
+    }
+  in
+  let manager = Mrcp.Manager.create ~cluster config in
+  let driver = Opensim.Driver.of_mrcp manager in
+  let r = Opensim.Simulator.run ~validate:true ~driver ~jobs () in
+  Format.printf "=== advance reservations under MRCP-RM ===@.%a@.@."
+    Opensim.Simulator.pp_results r;
+  List.iter
+    (fun (o : Opensim.Simulator.job_outcome) ->
+      let j = o.Opensim.Simulator.job in
+      Format.printf
+        "job %d: arrival=%4ds  s_j=%4ds  deadline=%4ds  completed=%4ds  %s@."
+        j.T.id (j.T.arrival / 1000)
+        (j.T.earliest_start / 1000)
+        (j.T.deadline / 1000)
+        (o.Opensim.Simulator.completion / 1000)
+        (if o.Opensim.Simulator.late then "LATE" else "on time"))
+    (List.sort
+       (fun a b ->
+         compare a.Opensim.Simulator.job.T.id b.Opensim.Simulator.job.T.id)
+       r.Opensim.Simulator.outcomes);
+  Format.printf
+    "@.note: job 1 (s_j=3600s) was deferred by the Section V.E optimization; \
+     the manager ran %d scheduling passes for 5 jobs because the far-future \
+     reservation only entered matchmaking near its start window.@."
+    (Mrcp.Manager.solve_count manager)

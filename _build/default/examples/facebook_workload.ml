@@ -1,0 +1,52 @@
+(* The paper's headline comparison (Fig. 2/3), runnable as an example: the
+   Table-4 synthetic Facebook workload on a 64-node cluster, scheduled by
+   MRCP-RM and by MinEDF-WC, side by side.
+
+   Run with:  dune exec examples/facebook_workload.exe [-- n_jobs lambda]  *)
+
+let () =
+  let n_jobs =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 150
+  in
+  let lambda =
+    if Array.length Sys.argv > 2 then float_of_string Sys.argv.(2) else 0.0004
+  in
+  let cluster = Mapreduce.Facebook.cluster () in
+  let params =
+    { Mapreduce.Facebook.default with Mapreduce.Facebook.n_jobs; lambda }
+  in
+  Format.printf
+    "Facebook workload (Table 4): %d jobs, lambda=%g jobs/s, 64 resources \
+     with 1 map + 1 reduce slot each@."
+    n_jobs lambda;
+  Format.printf "job mix: %.1f maps and %.1f reduces per job on average@.@."
+    (Mapreduce.Facebook.expected_maps_per_job ())
+    (Mapreduce.Facebook.expected_reduces_per_job ());
+  let jobs = Mapreduce.Facebook.generate params ~cluster ~seed:7 in
+  let run_with name driver =
+    let r = Opensim.Simulator.run ~driver ~jobs () in
+    Format.printf "%-10s %a@." name Opensim.Simulator.pp_results r;
+    r
+  in
+  let mrcp =
+    run_with "MRCP-RM"
+      (Opensim.Driver.of_mrcp
+         (Mrcp.Manager.create ~cluster Mrcp.Manager.default_config))
+  in
+  let minedf =
+    run_with "MinEDF-WC"
+      (Opensim.Driver.of_slot_scheduler
+         (Baselines.Slot_scheduler.create ~cluster
+            ~policy:Baselines.Slot_scheduler.Min_edf_wc))
+  in
+  Format.printf "@.";
+  let pct x = 100. *. x in
+  if minedf.Opensim.Simulator.n_late > 0 then
+    Format.printf
+      "MRCP-RM late-job reduction vs MinEDF-WC: %.0f%% (P %.2f%% -> %.2f%%)@."
+      (100.
+      *. (1.
+         -. (mrcp.Opensim.Simulator.p_late /. minedf.Opensim.Simulator.p_late)))
+      (pct minedf.Opensim.Simulator.p_late)
+      (pct mrcp.Opensim.Simulator.p_late)
+  else Format.printf "no late jobs for either manager at this arrival rate@."

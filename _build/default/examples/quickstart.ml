@@ -1,0 +1,76 @@
+(* Quickstart: build a tiny cluster and a handful of MapReduce jobs with
+   SLAs, run them through MRCP-RM in an open-system simulation, and print
+   what happened.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module T = Mapreduce.Types
+
+let () =
+  (* A cluster of 4 resources, each with 2 map slots and 2 reduce slots
+     (Table 3's system model, scaled down). *)
+  let cluster = T.uniform_cluster ~m:4 ~map_capacity:2 ~reduce_capacity:2 in
+
+  (* Three jobs with SLAs: earliest start time, per-task execution times,
+     end-to-end deadline.  Times are in milliseconds. *)
+  let task_id = ref 0 in
+  let task ~job ~kind ~seconds =
+    incr task_id;
+    {
+      T.task_id = !task_id;
+      job_id = job;
+      kind;
+      exec_time = seconds * 1000;
+      capacity_req = 1;
+    }
+  in
+  let job ~id ~arrival_s ~start_s ~deadline_s ~map_seconds ~reduce_seconds =
+    {
+      T.id;
+      arrival = arrival_s * 1000;
+      earliest_start = start_s * 1000;
+      deadline = deadline_s * 1000;
+      map_tasks =
+        Array.of_list
+          (List.map (fun s -> task ~job:id ~kind:T.Map_task ~seconds:s) map_seconds);
+      reduce_tasks =
+        Array.of_list
+          (List.map
+             (fun s -> task ~job:id ~kind:T.Reduce_task ~seconds:s)
+             reduce_seconds);
+    }
+  in
+  let jobs =
+    [
+      (* an ordinary job: start as soon as it arrives *)
+      job ~id:0 ~arrival_s:0 ~start_s:0 ~deadline_s:120
+        ~map_seconds:[ 20; 30; 25 ] ~reduce_seconds:[ 40 ];
+      (* a tight-deadline job arriving shortly after *)
+      job ~id:1 ~arrival_s:5 ~start_s:5 ~deadline_s:70 ~map_seconds:[ 15; 15 ]
+        ~reduce_seconds:[ 30 ];
+      (* an advance reservation: arrives early, must not start before t=60s *)
+      job ~id:2 ~arrival_s:10 ~start_s:60 ~deadline_s:200
+        ~map_seconds:[ 10; 10; 10; 10 ] ~reduce_seconds:[ 20; 20 ];
+    ]
+  in
+
+  (* MRCP-RM with validation on: every CP solution is re-checked against the
+     paper's Table-1 constraints and every plan against slot exclusivity. *)
+  let config = { Mrcp.Manager.default_config with Mrcp.Manager.validate = true } in
+  let manager = Mrcp.Manager.create ~cluster config in
+  let driver = Opensim.Driver.of_mrcp manager in
+  let results = Opensim.Simulator.run ~validate:true ~driver ~jobs () in
+
+  Format.printf "=== quickstart: MRCP-RM on a 4-node cluster ===@.";
+  Format.printf "%a@.@." Opensim.Simulator.pp_results results;
+  List.iter
+    (fun (o : Opensim.Simulator.job_outcome) ->
+      Format.printf
+        "job %d: s_j=%3ds deadline=%3ds completed=%3ds -> %s (turnaround %ds)@."
+        o.Opensim.Simulator.job.T.id
+        (o.Opensim.Simulator.job.T.earliest_start / 1000)
+        (o.Opensim.Simulator.job.T.deadline / 1000)
+        (o.Opensim.Simulator.completion / 1000)
+        (if o.Opensim.Simulator.late then "LATE" else "on time")
+        (o.Opensim.Simulator.turnaround_ms / 1000))
+    results.Opensim.Simulator.outcomes

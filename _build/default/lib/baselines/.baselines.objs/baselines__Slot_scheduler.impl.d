@@ -1,0 +1,1 @@
+lib/baselines/slot_scheduler.ml: Array Hashtbl List Mapreduce Printf Sched Unix

@@ -1,0 +1,1 @@
+lib/baselines/slot_scheduler.mli: Mapreduce Sched

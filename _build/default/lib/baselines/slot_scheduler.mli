@@ -1,0 +1,72 @@
+(** Slot-based dynamic MapReduce schedulers, including MinEDF-WC — the
+    comparator of the paper's Fig. 2/3 (Verma et al. [8]).
+
+    Unlike MRCP-RM, these schedulers do not plan future start times: they
+    keep per-resource map/reduce slots and dispatch runnable tasks onto free
+    slots whenever a slot frees or a job arrives.  Reduce tasks of a job
+    become runnable only after all of its map tasks have completed (the same
+    precedence as the CP model).
+
+    Policies:
+    - {!Min_edf_wc}: jobs in EDF order; each job is first granted up to its
+      {e minimum} slot allocation — the smallest (map, reduce) slot counts
+      whose bounds-based completion-time estimate meets the deadline (the
+      ARIA-style model: phase time ≈ remaining work / slots + longest task)
+      — then leftover slots are distributed work-conservingly in EDF order.
+      Because allocations are re-derived at every event, spare slots are
+      effectively de-allocated as their tasks finish when a needier job has
+      arrived, which is MinEDF-WC's allocate/de-allocate behaviour.
+    - {!Edf_wc}: pure EDF, work-conserving (no minimum-allocation cap —
+      the earliest-deadline job takes every slot it can use).
+    - {!Fcfs_wc}: arrival order, work-conserving.
+
+    All state mutations are driven by {!submit}, {!task_completed} and
+    {!dispatches}; the simulator executes the dispatches immediately. *)
+
+type policy = Min_edf_wc | Edf_wc | Fcfs_wc
+
+val policy_to_string : policy -> string
+
+type t
+
+val create : cluster:Mapreduce.Types.resource array -> policy:policy -> t
+
+val submit : t -> now:int -> Mapreduce.Types.job -> unit
+(** Job arrival: registers the job; its map tasks become runnable at
+    max(s_j, now) — jobs with a future earliest start are held until then
+    ({!next_wake}). *)
+
+val task_completed : t -> now:int -> task_id:int -> unit
+(** The simulator reports a task completion; its slot returns to the pool,
+    and a job whose last map finished unlocks its reduces.
+    @raise Invalid_argument for an unknown or not-running task. *)
+
+val dispatches : t -> now:int -> Sched.Dispatch.t list
+(** Decide what to launch right now (all starts = [now]).  Call after any
+    {!submit}/{!task_completed}/wake; idempotent (returned tasks are marked
+    running immediately). *)
+
+val next_wake : t -> int option
+(** Earliest future s_j of a held job, if any. *)
+
+val active_jobs : t -> int
+val overhead_seconds : t -> float
+val policy : t -> policy
+(** Wall-clock time spent making decisions (comparator for the O metric). *)
+
+val min_allocation :
+  map_work:int ->
+  map_longest:int ->
+  map_tasks:int ->
+  reduce_work:int ->
+  reduce_longest:int ->
+  reduce_tasks:int ->
+  budget:int ->
+  map_slots_max:int ->
+  reduce_slots_max:int ->
+  (int * int) option
+(** The minimum-slot model, exposed for unit tests: smallest (s_m, s_r)
+    (minimizing s_m + s_r, then s_m) such that
+    [map_work/s_m + map_longest + reduce_work/s_r + reduce_longest <= budget],
+    each phase capped by its task count; [None] if even the maximum
+    allocation misses the budget. *)

@@ -1,0 +1,1 @@
+lib/core/manager.ml: Array Cp Fmt Hashtbl List Logs Mapreduce Matchmaker Option Printf Queue Sched String Unix

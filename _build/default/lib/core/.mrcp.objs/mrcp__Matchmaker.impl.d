@@ -1,0 +1,1 @@
+lib/core/matchmaker.ml: Array Hashtbl List Mapreduce Printf Sched

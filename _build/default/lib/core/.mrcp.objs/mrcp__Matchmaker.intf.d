@@ -1,0 +1,1 @@
+lib/core/matchmaker.mli: Hashtbl Mapreduce Sched

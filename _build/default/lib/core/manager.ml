@@ -1,0 +1,286 @@
+module T = Mapreduce.Types
+module Instance = Sched.Instance
+module Solution = Sched.Solution
+module Dispatch = Sched.Dispatch
+
+let log_src = Logs.Src.create "mrcp.manager" ~doc:"MRCP-RM resource manager"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  solver : Cp.Solver.options;
+  deferral_window : int option;
+  validate : bool;
+}
+
+let default_config =
+  {
+    solver = Cp.Solver.default_options;
+    deferral_window = Some 300_000 (* 300 s *);
+    validate = false;
+  }
+
+type task_state = {
+  task : T.task;
+  mutable dispatch : Dispatch.t option;
+  mutable finished : bool;
+}
+
+type job_state = {
+  job : T.job;
+  mutable est : int;
+  maps : task_state array;
+  reduces : task_state array;
+}
+
+type t = {
+  cluster : T.resource array;
+  config : config;
+  map_capacity : int;
+  reduce_capacity : int;
+  mutable active : job_state list;
+  queue : T.job Queue.t;
+  mutable deferred : T.job list; (* sorted by earliest_start *)
+  mutable current_plan : Dispatch.t list;
+  mutable overhead : float;
+  mutable max_invocation : float;
+  mutable plan_version : int;
+  mutable solves : int;
+  mutable scheduled_jobs : int;
+  mutable last_stats : Cp.Solver.stats option;
+}
+
+let create ~cluster config =
+  if Array.length cluster = 0 then invalid_arg "Manager.create: empty cluster";
+  {
+    cluster;
+    config;
+    map_capacity = T.total_map_slots cluster;
+    reduce_capacity = T.total_reduce_slots cluster;
+    active = [];
+    queue = Queue.create ();
+    deferred = [];
+    current_plan = [];
+    overhead = 0.;
+    max_invocation = 0.;
+    plan_version = 0;
+    solves = 0;
+    scheduled_jobs = 0;
+    last_stats = None;
+  }
+
+let due ~now t (job : T.job) =
+  match t.config.deferral_window with
+  | None -> true
+  | Some window -> job.T.earliest_start <= now + window
+
+let submit t ~now job =
+  if due ~now t job then Queue.push job t.queue
+  else
+    t.deferred <-
+      List.merge
+        (fun a b -> compare a.T.earliest_start b.T.earliest_start)
+        [ job ] t.deferred
+
+let next_wake t =
+  match (t.deferred, t.config.deferral_window) with
+  | [], _ | _, None -> None
+  | job :: _, Some window -> Some (max 0 (job.T.earliest_start - window))
+
+(* Move deferred jobs whose s_j is close enough into the work queue. *)
+let release_due t ~now =
+  let due_jobs, still = List.partition (due ~now t) t.deferred in
+  t.deferred <- still;
+  List.iter (fun j -> Queue.push j t.queue) due_jobs
+
+(* Table 2 lines 5–18: classify a job's tasks by the clock.  Returns the
+   pending-job view for the CP instance, or None when the job has fully
+   completed (and should leave the system). *)
+let classify ~now (js : job_state) =
+  let pending = ref [] and fixed = ref [] in
+  let frozen_lfmt = ref 0 and frozen_completion = ref 0 in
+  let remaining = ref 0 in
+  let scan is_map ts =
+    match ts.dispatch with
+    | Some d when d.Dispatch.start <= now ->
+        let finish = Dispatch.finish d in
+        if finish <= now then begin
+          (* line 14: completed *)
+          ts.finished <- true;
+          if is_map && finish > !frozen_lfmt then frozen_lfmt := finish;
+          if finish > !frozen_completion then frozen_completion := finish
+        end
+        else begin
+          (* line 11: started but running — freeze *)
+          incr remaining;
+          fixed := (is_map, { Instance.task = ts.task; start = d.Dispatch.start }) :: !fixed;
+          if is_map && finish > !frozen_lfmt then frozen_lfmt := finish;
+          if finish > !frozen_completion then frozen_completion := finish
+        end
+    | Some _ | None ->
+        (* not started: remap and reschedule *)
+        incr remaining;
+        ts.dispatch <- None;
+        pending := (is_map, ts.task) :: !pending
+  in
+  Array.iter (scan true) js.maps;
+  Array.iter (scan false) js.reduces;
+  if !remaining = 0 then None
+  else begin
+    js.est <- max js.job.T.earliest_start now;
+    let select b l = List.filter_map (fun (m, x) -> if m = b then Some x else None) l in
+    Some
+      {
+        Instance.job = js.job;
+        est = js.est;
+        pending_maps = Array.of_list (select true !pending);
+        pending_reduces = Array.of_list (select false !pending);
+        fixed_maps = Array.of_list (select true !fixed);
+        fixed_reduces = Array.of_list (select false !fixed);
+        frozen_lfmt = !frozen_lfmt;
+        frozen_completion = !frozen_completion;
+      }
+  end
+
+let task_states js = Array.to_list js.maps @ Array.to_list js.reduces
+
+(* Plans from consecutive invocations must keep each running task on its slot
+   and never double-book a unit slot. *)
+let validate_plan dispatches frozen =
+  let by_slot = Hashtbl.create 64 in
+  let record kind slot start finish task_id =
+    let key = (kind, slot) in
+    let existing = Option.value (Hashtbl.find_opt by_slot key) ~default:[] in
+    List.iter
+      (fun (s, f, other) ->
+        if start < f && finish > s then
+          failwith
+            (Printf.sprintf
+               "plan validation: tasks %d and %d overlap on %s slot %d"
+               task_id other
+               (T.task_kind_to_string kind)
+               slot))
+      existing;
+    Hashtbl.replace by_slot key ((start, finish, task_id) :: existing)
+  in
+  List.iter
+    (fun (d : Dispatch.t) ->
+      record d.Dispatch.task.T.kind d.Dispatch.slot d.Dispatch.start
+        (Dispatch.finish d) d.Dispatch.task.T.task_id)
+    (frozen @ dispatches)
+
+let invoke t ~now =
+  release_due t ~now;
+  if not (Queue.is_empty t.queue) then begin
+    let t0 = Unix.gettimeofday () in
+    (* absorb the job queue into the active set *)
+    Queue.iter
+      (fun (job : T.job) ->
+        let state task = { task; dispatch = None; finished = false } in
+        t.active <-
+          {
+            job;
+            est = max job.T.earliest_start now;
+            maps = Array.map state job.T.map_tasks;
+            reduces = Array.map state job.T.reduce_tasks;
+          }
+          :: t.active;
+        t.scheduled_jobs <- t.scheduled_jobs + 1)
+      t.queue;
+    Queue.clear t.queue;
+    (* classify tasks, dropping completed jobs (Table 2 l.15–16) *)
+    let still_active, pending_jobs =
+      List.fold_left
+        (fun (actives, pjs) js ->
+          match classify ~now js with
+          | None -> (actives, pjs)
+          | Some pj -> (js :: actives, pj :: pjs))
+        ([], []) t.active
+    in
+    t.active <- still_active;
+    let inst =
+      {
+        Instance.now;
+        map_capacity = t.map_capacity;
+        reduce_capacity = t.reduce_capacity;
+        jobs = Array.of_list pending_jobs;
+      }
+    in
+    (* lines 19–20: generate and solve the model *)
+    let options = { t.config.solver with Cp.Solver.seed = t.config.solver.Cp.Solver.seed + t.solves } in
+    let solution, stats = Cp.Solver.solve ~options inst in
+    t.last_stats <- Some stats;
+    t.solves <- t.solves + 1;
+    if t.config.validate then begin
+      match Solution.feasibility_errors inst solution with
+      | [] -> ()
+      | errs ->
+          failwith ("MRCP-RM solver produced infeasible solution: "
+                    ^ String.concat "; " errs)
+    end;
+    (* lines 21–22 + §V.D: extract starts, matchmake onto resources *)
+    let mm = Matchmaker.create ~cluster:t.cluster in
+    let frozen_dispatches = ref [] in
+    List.iter
+      (fun js ->
+        List.iter
+          (fun ts ->
+            match ts.dispatch with
+            | Some d when not ts.finished ->
+                (* running task keeps its slot *)
+                Matchmaker.occupy mm ~kind:ts.task.T.kind ~slot:d.Dispatch.slot
+                  ~until:(Dispatch.finish d);
+                frozen_dispatches := d :: !frozen_dispatches
+            | Some _ | None -> ())
+          (task_states js))
+      t.active;
+    let pending_tasks =
+      List.concat_map
+        (fun js ->
+          List.filter_map
+            (fun ts -> if ts.dispatch = None && not ts.finished then Some ts.task else None)
+            (task_states js))
+        t.active
+    in
+    let dispatches =
+      Matchmaker.assign_all mm ~starts:solution.Solution.starts
+        ~pending:pending_tasks
+    in
+    if t.config.validate then validate_plan dispatches !frozen_dispatches;
+    (* install the new plan on the task states *)
+    let by_id = Hashtbl.create 256 in
+    List.iter
+      (fun (d : Dispatch.t) ->
+        Hashtbl.replace by_id d.Dispatch.task.T.task_id d)
+      dispatches;
+    List.iter
+      (fun js ->
+        List.iter
+          (fun ts ->
+            match Hashtbl.find_opt by_id ts.task.T.task_id with
+            | Some d -> ts.dispatch <- Some d
+            | None -> ())
+          (task_states js))
+      t.active;
+    t.current_plan <- List.sort Dispatch.compare_by_start dispatches;
+    t.plan_version <- t.plan_version + 1;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if elapsed > t.max_invocation then t.max_invocation <- elapsed;
+    t.overhead <- t.overhead +. elapsed;
+    Log.debug (fun m ->
+        m
+          "invocation at %d: %d active jobs, %d pending tasks planned, %a,            %.4fs"
+          now (List.length t.active) (List.length dispatches)
+          (Fmt.option Cp.Solver.pp_stats)
+          t.last_stats elapsed)
+  end
+
+let plan t = t.current_plan
+let plan_version t = t.plan_version
+let active_jobs t = List.length t.active
+let overhead_seconds t = t.overhead
+let max_invocation_seconds t = t.max_invocation
+let solve_count t = t.solves
+let jobs_scheduled t = t.scheduled_jobs
+let last_stats t = t.last_stats
+let last_solver_stats = last_stats

@@ -1,0 +1,82 @@
+(** MRCP-RM: the MapReduce Constraint-Programming Resource Manager
+    (paper §V, Table 2).
+
+    The manager owns the set of active jobs and the current plan (a dispatch
+    per not-yet-started task).  On each invocation it executes the Table-2
+    algorithm:
+
+    + bump earliest start times below the current time up to now (l.1–4);
+    + classify every previously scheduled task by the clock: not started
+      (reschedulable), started-but-running (frozen via an equality
+      constraint, [isPrevScheduled]), or finished (removed; a job with no
+      remaining tasks leaves the system) (l.5–18);
+    + rebuild the CP model over pending tasks and solve it (l.19–20),
+      seeding/solving through {!Cp.Solver} with the configured job ordering;
+    + extract the new combined schedule and matchmake it onto physical
+      resources (§V.D) to produce the new plan (l.21–22).
+
+    The §V.E optimization is built in: a job whose s_j lies further than
+    [deferral_window] in the future is parked in a deferral queue and enters
+    matchmaking only when its s_j approaches ({!next_wake} tells the caller
+    when to re-invoke).
+
+    The manager never looks at wall-clock arrival events itself — the
+    simulator (or a real dispatcher) calls {!submit} and {!invoke}; the
+    manager infers running/completed states purely from its own plan and
+    [now], exactly as the published algorithm does. *)
+
+type config = {
+  solver : Cp.Solver.options;
+  deferral_window : int option;
+      (** §V.E: [Some w] defers jobs with s_j > now + w; [None] disables *)
+  validate : bool;
+      (** re-check every solution against the Table-1 oracle and every plan
+          against slot-exclusivity (slower; on in tests) *)
+}
+
+val default_config : config
+(** EDF ordering, deferral window 300 s, validation off. *)
+
+type t
+
+val create : cluster:Mapreduce.Types.resource array -> config -> t
+
+val submit : t -> now:int -> Mapreduce.Types.job -> unit
+(** A job arrives.  It is queued (or deferred, §V.E); call {!invoke} to run
+    the matchmaking-and-scheduling pass. *)
+
+val invoke : t -> now:int -> unit
+(** Run the MRCP-RM algorithm if there is queued work (new or deferred-due
+    jobs).  No-op otherwise — mirroring "if MRCP-RM is not busy and there are
+    jobs available in the job queue" (§V.A). *)
+
+val plan : t -> Sched.Dispatch.t list
+(** Current dispatches for every active task that has not yet started,
+    ordered by start time.  Starts are absolute simulation times. *)
+
+val plan_version : t -> int
+(** Incremented every time {!invoke} actually re-solves (and hence may have
+    changed the plan); lets callers skip reconciliation after no-op
+    invocations. *)
+
+val next_wake : t -> int option
+(** Earliest future time at which {!invoke} should be called again because a
+    deferred job becomes due. *)
+
+val active_jobs : t -> int
+(** Jobs tracked (arrived, not yet fully completed at the last invocation). *)
+
+val overhead_seconds : t -> float
+(** Total wall-clock time spent in solving + matchmaking so far — the
+    numerator of the paper's O metric. *)
+
+val max_invocation_seconds : t -> float
+(** Longest single matchmaking-and-scheduling pass so far (the paper quotes
+    these maxima, e.g. "O was observed to be 0.57s" at small m). *)
+
+val solve_count : t -> int
+val jobs_scheduled : t -> int
+(** Total jobs that have been through at least one scheduling pass —
+    the denominator of O. *)
+
+val last_solver_stats : t -> Cp.Solver.stats option

@@ -1,0 +1,121 @@
+module T = Mapreduce.Types
+
+type slot_state = {
+  slot_id : int;
+  resource_id : int;
+  mutable available_from : int;
+}
+
+type t = {
+  map_slots : slot_state array;
+  reduce_slots : slot_state array;
+  mutable last_map_start : int;
+  mutable last_reduce_start : int;
+}
+
+let slots_of cluster select =
+  let slots = ref [] in
+  let next = ref 0 in
+  Array.iter
+    (fun (r : T.resource) ->
+      for _ = 1 to select r do
+        slots :=
+          { slot_id = !next; resource_id = r.T.res_id; available_from = min_int }
+          :: !slots;
+        incr next
+      done)
+    cluster;
+  Array.of_list (List.rev !slots)
+
+let create ~cluster =
+  {
+    map_slots = slots_of cluster (fun r -> r.T.map_capacity);
+    reduce_slots = slots_of cluster (fun r -> r.T.reduce_capacity);
+    last_map_start = min_int;
+    last_reduce_start = min_int;
+  }
+
+let map_slot_count t = Array.length t.map_slots
+let reduce_slot_count t = Array.length t.reduce_slots
+
+let slots_for t = function
+  | T.Map_task -> t.map_slots
+  | T.Reduce_task -> t.reduce_slots
+
+let occupy t ~kind ~slot ~until =
+  let slots = slots_for t kind in
+  if slot < 0 || slot >= Array.length slots then
+    invalid_arg "Matchmaker.occupy: slot out of range";
+  let s = slots.(slot) in
+  if until > s.available_from then s.available_from <- until
+
+let assign t ~kind ~task ~start =
+  if task.T.capacity_req <> 1 then
+    invalid_arg
+      "Matchmaker.assign: only unit capacity requirements are supported \
+       (the paper's q_t = 1); tasks with q_t > 1 cannot be matched to unit \
+       slots";
+  let slots = slots_for t kind in
+  (match kind with
+  | T.Map_task ->
+      assert (start >= t.last_map_start);
+      t.last_map_start <- start
+  | T.Reduce_task ->
+      assert (start >= t.last_reduce_start);
+      t.last_reduce_start <- start);
+  (* Best fit: among slots free by [start], take the one freed latest
+     (smallest remaining gap, paper §V.D). *)
+  let best = ref None in
+  Array.iter
+    (fun s ->
+      if s.available_from <= start then
+        match !best with
+        | Some b when b.available_from >= s.available_from -> ()
+        | _ -> best := Some s)
+    slots;
+  match !best with
+  | None ->
+      failwith
+        (Printf.sprintf
+           "Matchmaker.assign: no free %s slot at %d for task %d (solver \
+            capacity bug)"
+           (T.task_kind_to_string kind) start task.T.task_id)
+  | Some s ->
+      s.available_from <- start + task.T.exec_time;
+      {
+        Sched.Dispatch.task;
+        resource_id = s.resource_id;
+        slot = s.slot_id;
+        start;
+      }
+
+let assign_all t ~starts ~pending =
+  let with_start =
+    List.map
+      (fun (task : T.task) ->
+        match Hashtbl.find_opt starts task.T.task_id with
+        | Some s -> (s, task)
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Matchmaker.assign_all: task %d has no start"
+                 task.T.task_id))
+      pending
+  in
+  let sorted =
+    List.sort
+      (fun (s1, t1) (s2, t2) ->
+        let c = compare s1 s2 in
+        if c <> 0 then c else compare t1.T.task_id t2.T.task_id)
+      with_start
+  in
+  List.map
+    (fun (start, task) -> assign t ~kind:task.T.kind ~task ~start)
+    sorted
+
+let spread_evenly ~slots ~over =
+  if over <= 0 then invalid_arg "Matchmaker.spread_evenly: over must be > 0";
+  if slots < 0 then invalid_arg "Matchmaker.spread_evenly: negative slots";
+  let base = slots / over and extra = slots mod over in
+  (* the paper gives the larger share to the tail of the list: 100 over 30 ->
+     twenty 3s then ten 4s *)
+  Array.init over (fun i -> if i < over - extra then base else base + 1)

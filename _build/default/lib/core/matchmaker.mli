@@ -1,0 +1,64 @@
+(** Matchmaking (paper §V.D): distribute a combined-resource schedule over
+    the physical resources.
+
+    The combined schedule (from the CP solver) gives each task a start time
+    under the aggregate capacity constraint.  Matchmaking assigns each task
+    to a concrete unit slot — the paper's first step ("map the tasks from
+    the single resource schedule to unit capacity resources") — using the
+    paper's best-fit rule: pick the slot that leaves the smallest idle gap
+    before the task's start.  Because the combined schedule never runs more
+    than [capacity] tasks of a kind concurrently, a slot is always available
+    (interval-graph colourability), so matchmaking cannot fail.
+
+    Unit slots are numbered globally: resource 0's map slots first, then
+    resource 1's, ...; reduce slots are numbered in a separate space. *)
+
+type slot_state = {
+  slot_id : int;
+  resource_id : int;
+  mutable available_from : int;
+      (** end of the latest task committed to this slot *)
+}
+
+type t
+
+val create : cluster:Mapreduce.Types.resource array -> t
+(** Fresh matchmaker with all slots free from time [min_int]. *)
+
+val map_slot_count : t -> int
+val reduce_slot_count : t -> int
+
+val occupy :
+  t -> kind:Mapreduce.Types.task_kind -> slot:int -> until:int -> unit
+(** Pre-load a running (frozen) task's occupation: the slot is unavailable
+    until [until].  Used when rebuilding the matchmaker at an MRCP-RM
+    invocation — running tasks keep their slots (they cannot migrate). *)
+
+val assign :
+  t ->
+  kind:Mapreduce.Types.task_kind ->
+  task:Mapreduce.Types.task ->
+  start:int ->
+  Sched.Dispatch.t
+(** Best-fit-gap slot choice for one task.  Tasks must be assigned in
+    non-decreasing [start] order (assert-checked).
+    @raise Invalid_argument for tasks with [capacity_req <> 1]: matchmaking
+    onto unit slots requires the paper's q_t = 1 (the CP solver itself
+    handles general demands, but such schedules cannot be decomposed into
+    unit slots).
+    @raise Failure if no slot is free — impossible for capacity-feasible
+    combined schedules, so this signals a solver bug. *)
+
+val assign_all :
+  t ->
+  starts:(int, int) Hashtbl.t ->
+  pending:Mapreduce.Types.task list ->
+  Sched.Dispatch.t list
+(** Sort [pending] by combined-schedule start (looked up in [starts]) and
+    assign every task; returns dispatches in start order. *)
+
+val spread_evenly : slots:int -> over:int -> int array
+(** The paper's redistribution example (§V.D): divide [slots] unit slots over
+    [over] resources as evenly as possible — e.g. 100 slots over 30 resources
+    gives 20 resources with 3 and 10 with 4.  Exposed for the generalized
+    regrouping API and tested against the paper's numbers. *)

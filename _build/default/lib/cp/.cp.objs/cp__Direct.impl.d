@@ -1,0 +1,1 @@
+lib/cp/direct.ml: Array Hashtbl List Mapreduce Model Option Propagators Sched Search Store Unix

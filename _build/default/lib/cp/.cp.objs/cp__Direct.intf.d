@@ -1,0 +1,1 @@
+lib/cp/direct.mli: Hashtbl Mapreduce Sched Search

@@ -1,0 +1,1 @@
+lib/cp/model.ml: Array Hashtbl List Mapreduce Propagators Sched Store

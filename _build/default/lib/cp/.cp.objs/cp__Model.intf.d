@@ -1,0 +1,1 @@
+lib/cp/model.mli: Mapreduce Sched Store

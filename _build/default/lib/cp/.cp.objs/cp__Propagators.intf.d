@@ -1,0 +1,1 @@
+lib/cp/propagators.mli: Store

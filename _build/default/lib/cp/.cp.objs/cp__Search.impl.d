@@ -1,0 +1,1 @@
+lib/cp/search.ml: Array Mapreduce Model Option Sched Store Unix

@@ -1,0 +1,1 @@
+lib/cp/search.mli: Model Sched Store

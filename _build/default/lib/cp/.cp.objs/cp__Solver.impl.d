@@ -1,0 +1,1 @@
+lib/cp/solver.ml: Array Format Hashtbl List Mapreduce Model Sched Search Simrand Unix

@@ -1,0 +1,1 @@
+lib/cp/solver.mli: Format Sched

@@ -1,0 +1,153 @@
+module T = Mapreduce.Types
+module Instance = Sched.Instance
+module Solution = Sched.Solution
+
+type task_var = { var : Store.var; task : T.task; job_index : int }
+
+type t = {
+  store : Store.t;
+  instance : Instance.t;
+  starts : task_var array;
+  lates : Store.var array;
+  completions : Store.var array;
+  bound : int ref;
+  bound_pid : Store.propagator_id;
+  horizon : int;
+}
+
+let default_horizon (inst : Instance.t) =
+  let work = ref 0 and max_est = ref inst.Instance.now and frozen = ref 0 in
+  Array.iter
+    (fun (j : Instance.pending_job) ->
+      if j.Instance.est > !max_est then max_est := j.Instance.est;
+      let add (task : T.task) = work := !work + task.T.exec_time in
+      Array.iter add j.Instance.pending_maps;
+      Array.iter add j.Instance.pending_reduces;
+      let add_fixed (f : Instance.fixed_task) =
+        let finish = f.Instance.start + f.Instance.task.T.exec_time in
+        if finish > !frozen then frozen := finish
+      in
+      Array.iter add_fixed j.Instance.fixed_maps;
+      Array.iter add_fixed j.Instance.fixed_reduces;
+      if j.Instance.frozen_completion > !frozen then
+        frozen := j.Instance.frozen_completion)
+    inst.Instance.jobs;
+  max (max !max_est !frozen) inst.Instance.now + !work + 1
+
+let build (inst : Instance.t) ~horizon =
+  let store = Store.create () in
+  let n_jobs = Array.length inst.Instance.jobs in
+  let starts = ref [] in
+  let lates = Array.make (max n_jobs 1) 0 in
+  let completions = Array.make (max n_jobs 1) 0 in
+  let map_terms = ref [] and reduce_terms = ref [] in
+  let max_dur = ref 1 in
+  Array.iter
+    (fun (j : Instance.pending_job) ->
+      Array.iter
+        (fun (task : T.task) -> max_dur := max !max_dur task.T.exec_time)
+        j.Instance.pending_maps;
+      Array.iter
+        (fun (task : T.task) -> max_dur := max !max_dur task.T.exec_time)
+        j.Instance.pending_reduces)
+    inst.Instance.jobs;
+  let value_horizon = horizon + !max_dur in
+  for jdx = 0 to n_jobs - 1 do
+    let j = inst.Instance.jobs.(jdx) in
+    let est = j.Instance.est in
+    (* map task start variables: constraint (2) as an initial bound *)
+    let map_vars =
+      Array.map
+        (fun (task : T.task) ->
+          let var = Store.new_var store ~min:est ~max:horizon in
+          starts := { var; task; job_index = jdx } :: !starts;
+          map_terms :=
+            { Propagators.start = var;
+              duration = task.T.exec_time;
+              demand = task.T.capacity_req }
+            :: !map_terms;
+          (var, task.T.exec_time))
+        j.Instance.pending_maps
+    in
+    (* LFMT: max of map completions over pending and frozen maps (3) *)
+    let lfmt = Store.new_var store ~min:0 ~max:value_horizon in
+    Propagators.max_of store ~result:lfmt
+      ~terms:(Array.to_list map_vars)
+      ~floor:(max j.Instance.frozen_lfmt est);
+    (* reduce start variables: after LFMT *)
+    let reduce_vars =
+      Array.map
+        (fun (task : T.task) ->
+          let var = Store.new_var store ~min:est ~max:value_horizon in
+          starts := { var; task; job_index = jdx } :: !starts;
+          reduce_terms :=
+            { Propagators.start = var;
+              duration = task.T.exec_time;
+              demand = task.T.capacity_req }
+            :: !reduce_terms;
+          Propagators.ge_offset store var lfmt 0;
+          (var, task.T.exec_time))
+        j.Instance.pending_reduces
+    in
+    (* completion: max of reduce completions, LFMT, frozen completions *)
+    let completion = Store.new_var store ~min:0 ~max:(value_horizon * 2) in
+    Propagators.max_of store ~result:completion
+      ~terms:((lfmt, 0) :: Array.to_list reduce_vars)
+      ~floor:j.Instance.frozen_completion;
+    completions.(jdx) <- completion;
+    (* N_j: constraint (4) *)
+    let late = Store.new_var store ~min:0 ~max:1 in
+    Propagators.lateness store ~late ~completion
+      ~deadline:j.Instance.job.T.deadline;
+    lates.(jdx) <- late
+  done;
+  (* capacity constraints (5)/(6) on the combined resource *)
+  let fixed_of select =
+    Array.to_list inst.Instance.jobs
+    |> List.concat_map (fun j ->
+           Array.to_list (select j)
+           |> List.map (fun (f : Instance.fixed_task) ->
+                  ( f.Instance.start,
+                    f.Instance.task.T.exec_time,
+                    f.Instance.task.T.capacity_req )))
+    |> Array.of_list
+  in
+  Propagators.cumulative store
+    ~tasks:(Array.of_list !map_terms)
+    ~fixed:(fixed_of (fun j -> j.Instance.fixed_maps))
+    ~capacity:inst.Instance.map_capacity;
+  Propagators.cumulative store
+    ~tasks:(Array.of_list !reduce_terms)
+    ~fixed:(fixed_of (fun j -> j.Instance.fixed_reduces))
+    ~capacity:inst.Instance.reduce_capacity;
+  (* objective cut for branch-and-bound: Σ N_j < bound *)
+  let bound = ref (n_jobs + 1) in
+  let lates = Array.sub lates 0 n_jobs in
+  let completions = Array.sub completions 0 n_jobs in
+  let bound_pid = Propagators.sum_lt_bound store ~vars:lates ~bound in
+  {
+    store;
+    instance = inst;
+    starts = Array.of_list (List.rev !starts);
+    lates;
+    completions;
+    bound;
+    bound_pid;
+    horizon;
+  }
+
+let all_starts_fixed m =
+  Array.for_all (fun tv -> Store.is_fixed m.store tv.var) m.starts
+
+let extract m =
+  if not (all_starts_fixed m) then
+    invalid_arg "Model.extract: not all start variables are fixed";
+  let starts = Hashtbl.create (Array.length m.starts) in
+  Array.iter
+    (fun tv ->
+      Hashtbl.replace starts tv.task.T.task_id (Store.value m.store tv.var))
+    m.starts;
+  Solution.evaluate m.instance starts
+
+let late_count_min m =
+  Array.fold_left (fun acc v -> acc + Store.min_of m.store v) 0 m.lates

@@ -1,0 +1,49 @@
+(** CP model of the paper's Table-1 formulation, built over a
+    {!Sched.Instance.t} (combined-resource form, §V.D).
+
+    Decision variables per pending task: an integer start time (the paper's
+    a_t, realized as an interval of fixed length e_t).  Per job: an LFMT
+    variable (max of map completions — constraint (3)), a completion variable
+    (max of reduce completions / LFMT), and a 0/1 lateness variable N_j
+    (constraint (4)).  Two [cumulative] constraints — one over map slots,
+    one over reduce slots — encode constraints (5)/(6); frozen
+    (isPrevScheduled) tasks enter them as fixed occupations (§V.B line 11).
+    Matchmaking (constraint (1) / the x_tr variables) is resolved after
+    solving by the matchmaker in [lib/core], exactly as §V.D separates the
+    two concerns. *)
+
+type task_var = {
+  var : Store.var;
+  task : Mapreduce.Types.task;
+  job_index : int;  (** index into the instance's jobs array *)
+}
+
+type t = {
+  store : Store.t;
+  instance : Sched.Instance.t;
+  starts : task_var array;  (** every pending task, maps then reduces *)
+  lates : Store.var array;  (** N_j per job, aligned with instance.jobs *)
+  completions : Store.var array;  (** C_j per job *)
+  bound : int ref;  (** strict upper bound on Σ N_j for branch-and-bound *)
+  bound_pid : Store.propagator_id;
+  horizon : int;
+}
+
+val build : Sched.Instance.t -> horizon:int -> t
+(** Construct and post all constraints.  Does not propagate; callers run
+    {!Store.propagate} (and should catch {!Store.Fail} — an instance can be
+    infeasible only if the horizon is too small, since lateness is soft). *)
+
+val default_horizon : Sched.Instance.t -> int
+(** A horizon provably large enough to contain some optimal semi-active
+    schedule: max est + total pending work + max frozen end. *)
+
+val extract : t -> Sched.Solution.t
+(** Read a solution once every start variable is fixed.
+    @raise Invalid_argument otherwise. *)
+
+val late_count_min : t -> int
+(** Σ over jobs of min N_j under current bounds (a lower bound on the
+    objective in the current subtree). *)
+
+val all_starts_fixed : t -> bool

@@ -1,0 +1,268 @@
+type term = { start : Store.var; duration : int; demand : int }
+
+let ge_offset s y x c =
+  let pid =
+    Store.register s ~priority:0 (fun s ->
+        Store.set_min s y (Store.min_of s x + c);
+        Store.set_max s x (Store.max_of s y - c))
+  in
+  Store.watch s x pid;
+  Store.watch s y pid;
+  Store.schedule s pid
+
+let precedence s ~before ~duration ~after = ge_offset s after before duration
+
+let max_of s ~result ~terms ~floor =
+  match terms with
+  | [] ->
+      (* result is the constant floor *)
+      let pid =
+        Store.register s ~priority:0 (fun s ->
+            Store.set_min s result floor;
+            Store.set_max s result floor)
+      in
+      Store.schedule s pid
+  | _ ->
+      let pid =
+        Store.register s ~priority:1 (fun s ->
+            (* result >= every term and >= floor *)
+            Store.set_min s result floor;
+            let max_min = ref floor and max_max = ref floor in
+            List.iter
+              (fun (x, c) ->
+                let mn = Store.min_of s x + c and mx = Store.max_of s x + c in
+                if mn > !max_min then max_min := mn;
+                if mx > !max_max then max_max := mx)
+              terms;
+            Store.set_min s result !max_min;
+            Store.set_max s result !max_max;
+            (* every term <= result *)
+            let ub = Store.max_of s result in
+            List.iter (fun (x, c) -> Store.set_max s x (ub - c)) terms)
+      in
+      List.iter (fun (x, _) -> Store.watch s x pid) terms;
+      Store.watch s result pid;
+      Store.schedule s pid
+
+let lateness s ~late ~completion ~deadline =
+  let pid =
+    Store.register s ~priority:0 (fun s ->
+        if Store.min_of s completion > deadline then Store.set_min s late 1;
+        if Store.max_of s late = 0 then Store.set_max s completion deadline;
+        if Store.max_of s completion <= deadline then Store.set_max s late 0)
+  in
+  Store.watch s completion pid;
+  Store.watch s late pid;
+  Store.schedule s pid
+
+let sum_lt_bound s ~vars ~bound =
+  let pid_ref = ref None in
+  let pid =
+    Store.register s ~priority:0 (fun s ->
+        let sum_min = Array.fold_left (fun acc v -> acc + Store.min_of s v) 0 vars in
+        if sum_min >= !bound then raise (Store.Fail "objective bound");
+        if sum_min = !bound - 1 then
+          (* no slack left: every undecided job must meet its deadline *)
+          Array.iter
+            (fun v -> if Store.min_of s v = 0 then Store.set_max s v 0)
+            vars)
+  in
+  pid_ref := Some pid;
+  Array.iter (fun v -> Store.watch s v pid) vars;
+  Store.schedule s pid;
+  pid
+
+(* --- time-table cumulative ------------------------------------------------ *)
+
+(* One propagator instance keeps scratch buffers to avoid reallocation. *)
+let cumulative s ~tasks ~fixed ~capacity =
+  if capacity <= 0 then invalid_arg "cumulative: capacity must be positive";
+  Array.iter
+    (fun t ->
+      if t.duration < 0 || t.demand < 0 then
+        invalid_arg "cumulative: negative duration/demand";
+      if t.demand > capacity then raise (Store.Fail "task demand > capacity"))
+    tasks;
+  let n = Array.length tasks in
+  (* events of the frozen tasks never change: precompute *)
+  let fixed_events =
+    Array.to_list fixed
+    |> List.concat_map (fun (start, duration, demand) ->
+           if duration > 0 && demand > 0 then
+             [ (start, demand); (start + duration, -demand) ]
+           else [])
+  in
+  let run s =
+    (* 1. collect compulsory parts *)
+    let events = ref fixed_events in
+    let comp_lo = Array.make n 0 and comp_hi = Array.make n 0 in
+    for i = 0 to n - 1 do
+      let t = tasks.(i) in
+      if t.duration > 0 && t.demand > 0 then begin
+        let est = Store.min_of s t.start and lst = Store.max_of s t.start in
+        let lo = lst and hi = est + t.duration in
+        if lo < hi then begin
+          comp_lo.(i) <- lo;
+          comp_hi.(i) <- hi;
+          events := (lo, t.demand) :: (hi, -t.demand) :: !events
+        end
+        else begin
+          comp_lo.(i) <- max_int;
+          comp_hi.(i) <- max_int
+        end
+      end
+      else begin
+        comp_lo.(i) <- max_int;
+        comp_hi.(i) <- max_int
+      end
+    done;
+    (* 2. sweep into a step profile *)
+    let events = Array.of_list !events in
+    Array.sort (fun (a, _) (b, _) -> compare a b) events;
+    let ne = Array.length events in
+    (* segments: (seg_start, seg_end, usage), usage > 0 only *)
+    let seg_start = ref [] in
+    let i = ref 0 in
+    let usage = ref 0 in
+    while !i < ne do
+      let time = fst events.(!i) in
+      while !i < ne && fst events.(!i) = time do
+        usage := !usage + snd events.(!i);
+        incr i
+      done;
+      if !usage > capacity then raise (Store.Fail "cumulative overload");
+      let next = if !i < ne then fst events.(!i) else max_int in
+      if !usage > 0 && next > time then
+        seg_start := (time, next, !usage) :: !seg_start
+    done;
+    let segments = Array.of_list (List.rev !seg_start) in
+    let nseg = Array.length segments in
+    if nseg > 0 then begin
+      (* 3. prune: for each task, push est right (and lst left) past segments
+         where the remaining capacity cannot fit its demand.  A task's own
+         compulsory contribution is subtracted before testing. *)
+      for t = 0 to n - 1 do
+        let task = tasks.(t) in
+        if task.duration > 0 && task.demand > 0
+           && not (Store.is_fixed s task.start)
+        then begin
+          let own_lo = comp_lo.(t) and own_hi = comp_hi.(t) in
+          let overloaded (a, b, u) =
+            let u =
+              if own_lo < b && own_hi > a then u - task.demand else u
+            in
+            u + task.demand > capacity
+          in
+          (* min side *)
+          let est = ref (Store.min_of s task.start) in
+          for k = 0 to nseg - 1 do
+            let (a, b, _) = segments.(k) in
+            if
+              a < !est + task.duration && b > !est
+              && overloaded segments.(k)
+            then est := b
+          done;
+          Store.set_min s task.start !est;
+          (* max side (mirror, sweep right to left) *)
+          let lst = ref (Store.max_of s task.start) in
+          for k = nseg - 1 downto 0 do
+            let (a, b, _) = segments.(k) in
+            if
+              a < !lst + task.duration && b > !lst
+              && overloaded segments.(k)
+            then lst := a - task.duration
+          done;
+          Store.set_max s task.start !lst
+        end
+      done
+    end
+  in
+  let pid = Store.register s ~priority:2 run in
+  Array.iter (fun t -> Store.watch s t.start pid) tasks;
+  Store.schedule s pid
+
+(* --- per-resource cumulative gated on assignment variables --------------- *)
+
+type gated = {
+  g_start : Store.var;
+  g_duration : int;
+  g_demand : int;
+  g_member : Store.var;
+  g_value : int;
+}
+
+let cumulative_gated s ~tasks ~capacity =
+  if capacity <= 0 then invalid_arg "cumulative_gated: capacity must be > 0";
+  let n = Array.length tasks in
+  let run s =
+    (* members: tasks whose choice variable is fixed to this resource *)
+    let events = ref [] in
+    let comp_lo = Array.make n max_int and comp_hi = Array.make n max_int in
+    let member = Array.make n false in
+    for i = 0 to n - 1 do
+      let t = tasks.(i) in
+      if
+        Store.is_fixed s t.g_member
+        && Store.value s t.g_member = t.g_value
+        && t.g_duration > 0 && t.g_demand > 0
+      then begin
+        member.(i) <- true;
+        let est = Store.min_of s t.g_start and lst = Store.max_of s t.g_start in
+        let lo = lst and hi = est + t.g_duration in
+        if lo < hi then begin
+          comp_lo.(i) <- lo;
+          comp_hi.(i) <- hi;
+          events := (lo, t.g_demand) :: (hi, -t.g_demand) :: !events
+        end
+      end
+    done;
+    let events = Array.of_list !events in
+    Array.sort (fun (a, _) (b, _) -> compare a b) events;
+    let ne = Array.length events in
+    let segs = ref [] in
+    let i = ref 0 and usage = ref 0 in
+    while !i < ne do
+      let time = fst events.(!i) in
+      while !i < ne && fst events.(!i) = time do
+        usage := !usage + snd events.(!i);
+        incr i
+      done;
+      if !usage > capacity then raise (Store.Fail "gated cumulative overload");
+      let next = if !i < ne then fst events.(!i) else max_int in
+      if !usage > 0 && next > time then segs := (time, next, !usage) :: !segs
+    done;
+    let segments = Array.of_list (List.rev !segs) in
+    let nseg = Array.length segments in
+    if nseg > 0 then
+      for t = 0 to n - 1 do
+        let task = tasks.(t) in
+        if member.(t) && not (Store.is_fixed s task.g_start) then begin
+          let own_lo = comp_lo.(t) and own_hi = comp_hi.(t) in
+          let overloaded (a, b, u) =
+            let u = if own_lo < b && own_hi > a then u - task.g_demand else u in
+            u + task.g_demand > capacity
+          in
+          let est = ref (Store.min_of s task.g_start) in
+          for k = 0 to nseg - 1 do
+            let (a, b, _) = segments.(k) in
+            if a < !est + task.g_duration && b > !est && overloaded segments.(k)
+            then est := b
+          done;
+          Store.set_min s task.g_start !est;
+          let lst = ref (Store.max_of s task.g_start) in
+          for k = nseg - 1 downto 0 do
+            let (a, b, _) = segments.(k) in
+            if a < !lst + task.g_duration && b > !lst && overloaded segments.(k)
+            then lst := a - task.g_duration
+          done;
+          Store.set_max s task.g_start !lst
+        end
+      done
+  in
+  let pid = Store.register s ~priority:2 run in
+  Array.iter
+    (fun t ->
+      Store.watch s t.g_start pid;
+      Store.watch s t.g_member pid)
+    tasks;
+  Store.schedule s pid

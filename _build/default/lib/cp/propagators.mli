@@ -1,0 +1,68 @@
+(** The constraint propagators needed by the paper's Table-1 model:
+
+    - {!precedence}: start_after ≥ start_before + duration (constraint (3)
+      once the per-job LFMT is expressed with {!max_of});
+    - {!max_of}: y = max_i (x_i + c_i), for LFMT/LFRT;
+    - {!lateness}: constraint (4), "completion > deadline ⟹ N_j = 1",
+      together with the useful contrapositive "N_j = 0 ⟹ completion ≤ d";
+    - {!sum_lt_bound}: the branch-and-bound objective cut Σ N_j < bound;
+    - {!cumulative}: constraints (5)/(6), time-table propagation with overload
+      checking, handling both variable-start tasks and frozen
+      (isPrevScheduled) tasks.
+
+    Each function registers the propagator, wires its watches, and schedules
+    an initial run; callers then invoke {!Store.propagate}. *)
+
+type term = { start : Store.var; duration : int; demand : int }
+(** A task as seen by [cumulative]. *)
+
+val ge_offset : Store.t -> Store.var -> Store.var -> int -> unit
+(** [ge_offset s y x c] enforces y ≥ x + c (bounds in both directions). *)
+
+val precedence : Store.t -> before:Store.var -> duration:int -> after:Store.var -> unit
+(** [after ≥ before + duration]. *)
+
+val max_of : Store.t -> result:Store.var -> terms:(Store.var * int) list -> floor:int -> unit
+(** result = max(floor, max_i (x_i + c_i)).  With an empty term list, fixes
+    result to [floor]. *)
+
+val lateness :
+  Store.t -> late:Store.var -> completion:Store.var -> deadline:int -> unit
+(** [late] is a 0/1 variable: completion_min > deadline forces late = 1;
+    late = 0 forces completion ≤ deadline; completion_max ≤ deadline forces
+    late = 0. *)
+
+val sum_lt_bound :
+  Store.t -> vars:Store.var array -> bound:int ref -> Store.propagator_id
+(** Σ vars < !bound (strict).  Re-schedule the returned token after lowering
+    [bound].  When Σ min reaches [!bound - 1], remaining free vars are forced
+    to 0. *)
+
+val cumulative :
+  Store.t ->
+  tasks:term array ->
+  fixed:(int * int * int) array ->
+  capacity:int ->
+  unit
+(** Time-table (compulsory part) propagation over [tasks] plus frozen
+    [(start, duration, demand)] occupations, under the capacity limit.
+    Prunes both start minima and start maxima; fails on profile overload.
+    Exact (overload = capacity violation) once all starts are fixed. *)
+
+type gated = {
+  g_start : Store.var;
+  g_duration : int;
+  g_demand : int;
+  g_member : Store.var;  (** resource-choice variable *)
+  g_value : int;  (** the task occupies this resource iff g_member = value *)
+}
+
+val cumulative_gated :
+  Store.t -> tasks:gated array -> capacity:int -> unit
+(** Per-resource cumulative for the paper's {e direct} formulation (the x_tr
+    variables of Table 1, before the §V.D decomposition): a task contributes
+    to this resource's profile only once its choice variable is fixed to
+    [g_value], and only such tasks have their start bounds pruned here.
+    Weaker propagation than {!cumulative} (unassigned tasks are invisible),
+    but exact once every choice and start is fixed — which is all the
+    branch-and-bound needs for soundness. *)

@@ -1,0 +1,218 @@
+module T = Mapreduce.Types
+
+type limits = {
+  fail_limit : int;
+  node_limit : int;
+  wall_deadline : float option;
+}
+
+let no_limits = { fail_limit = 0; node_limit = 0; wall_deadline = None }
+
+type start_info = { svar : Store.var; duration : int; deadline : int }
+
+type 'a problem = {
+  store : Store.t;
+  starts : start_info array;
+  lates : (Store.var * int) array;
+  bound : int ref;
+  bound_pid : Store.propagator_id;
+  extract : unit -> 'a * int;
+}
+
+type 'a generic_outcome = {
+  best : 'a option;
+  proved_optimal : bool;
+  nodes : int;
+  failures : int;
+}
+
+exception Limit_reached
+
+type 'a state = {
+  problem : 'a problem;
+  limits : limits;
+  mutable best : 'a option;
+  mutable nodes : int;
+  mutable failures : int;
+  mutable ticks : int;  (* countdown to the next wall-clock check *)
+}
+
+let check_limits st =
+  if st.limits.node_limit > 0 && st.nodes >= st.limits.node_limit then
+    raise Limit_reached;
+  if st.limits.fail_limit > 0 && st.failures >= st.limits.fail_limit then
+    raise Limit_reached;
+  st.ticks <- st.ticks - 1;
+  if st.ticks <= 0 then begin
+    st.ticks <- 64;
+    match st.limits.wall_deadline with
+    | Some deadline when Unix.gettimeofday () > deadline -> raise Limit_reached
+    | _ -> ()
+  end
+
+(* Pick the undecided lateness variable of the job with the earliest
+   deadline. *)
+let select_late st =
+  let s = st.problem.store in
+  let best = ref None in
+  Array.iter
+    (fun (late, deadline) ->
+      if not (Store.is_fixed s late) then
+        match !best with
+        | Some (_, d) when d <= deadline -> ()
+        | _ -> best := Some (late, deadline))
+    st.problem.lates;
+  Option.map fst !best
+
+(* Pick the SetTimes candidate: unfixed, and not postponed at its current
+   est.  postponed.(i) holds the est at which task i was postponed, or
+   min_int. *)
+let select_start st postponed =
+  let s = st.problem.store in
+  let best = ref (-1) in
+  let best_key = ref (max_int, max_int, min_int) in
+  Array.iteri
+    (fun i info ->
+      if not (Store.is_fixed s info.svar) then begin
+        let est = Store.min_of s info.svar in
+        if postponed.(i) <> est then begin
+          let slack = info.deadline - est - info.duration in
+          (* prefer small est, then small slack, then long duration *)
+          let key = (est, slack, -info.duration) in
+          if key < !best_key then begin
+            best_key := key;
+            best := i
+          end
+        end
+      end)
+    st.problem.starts;
+  if !best < 0 then None else Some !best
+
+let all_starts_fixed st =
+  Array.for_all
+    (fun info -> Store.is_fixed st.problem.store info.svar)
+    st.problem.starts
+
+let record_solution st =
+  (* The true late count can be below Σ N_j (constraint (4) is
+     one-directional), and the bound may have been tightened by a solution in
+     a sibling subtree, so re-check improvement here. *)
+  let payload, late_count = st.problem.extract () in
+  if late_count < !(st.problem.bound) then begin
+    st.best <- Some payload;
+    st.problem.bound := late_count
+  end
+
+let rec dfs st postponed =
+  check_limits st;
+  st.nodes <- st.nodes + 1;
+  let s = st.problem.store in
+  match select_late st with
+  | Some late ->
+      branch st postponed
+        ~left:(fun () -> Store.set_max s late 0)
+        ~right:(fun () -> Store.set_min s late 1)
+  | None -> (
+      match select_start st postponed with
+      | None ->
+          if all_starts_fixed st then record_solution st
+          (* else: every unfixed task is postponed at an unchanged est —
+             dominated dead end *)
+      | Some i ->
+          let info = st.problem.starts.(i) in
+          let est = Store.min_of s info.svar in
+          branch_asym st postponed
+            ~left:(fun () -> Store.fix s info.svar est)
+            ~right:(fun postponed' ->
+              postponed'.(i) <- est;
+              dfs st postponed'))
+
+(* Two store-changing branches. *)
+and branch st postponed ~left ~right =
+  let s = st.problem.store in
+  let attempt f =
+    Store.push_level s;
+    (try
+       f ();
+       (* the incumbent bound may have moved: re-check the objective cut *)
+       Store.schedule s st.problem.bound_pid;
+       Store.propagate s;
+       dfs st postponed
+     with Store.Fail _ -> st.failures <- st.failures + 1);
+    Store.backtrack s
+  in
+  attempt left;
+  attempt right
+
+(* Left changes the store; right only updates the postponed bookkeeping (no
+   store change, hence no propagation and no new level needed). *)
+and branch_asym st postponed ~left ~right =
+  let s = st.problem.store in
+  Store.push_level s;
+  (try
+     left ();
+     Store.schedule s st.problem.bound_pid;
+     Store.propagate s;
+     dfs st postponed
+   with Store.Fail _ -> st.failures <- st.failures + 1);
+  Store.backtrack s;
+  let postponed' = Array.copy postponed in
+  right postponed'
+
+let run_problem problem limits =
+  let st = { problem; limits; best = None; nodes = 0; failures = 0; ticks = 1 } in
+  let s = problem.store in
+  let postponed = Array.make (Array.length problem.starts) min_int in
+  let proved_optimal =
+    try
+      (try
+         Store.propagate s;
+         dfs st postponed
+       with Store.Fail _ -> st.failures <- st.failures + 1);
+      true
+    with Limit_reached -> false
+  in
+  Store.backtrack_to_root s;
+  { best = st.best; proved_optimal; nodes = st.nodes; failures = st.failures }
+
+(* --- MapReduce-model entry point -------------------------------------- *)
+
+type outcome = {
+  best : Sched.Solution.t option;
+  proved_optimal : bool;
+  nodes : int;
+  failures : int;
+}
+
+let problem_of_model (m : Model.t) =
+  let deadline_of jdx =
+    m.Model.instance.Sched.Instance.jobs.(jdx).Sched.Instance.job.T.deadline
+  in
+  {
+    store = m.Model.store;
+    starts =
+      Array.map
+        (fun (tv : Model.task_var) ->
+          {
+            svar = tv.Model.var;
+            duration = tv.Model.task.T.exec_time;
+            deadline = deadline_of tv.Model.job_index;
+          })
+        m.Model.starts;
+    lates = Array.mapi (fun jdx late -> (late, deadline_of jdx)) m.Model.lates;
+    bound = m.Model.bound;
+    bound_pid = m.Model.bound_pid;
+    extract =
+      (fun () ->
+        let sol = Model.extract m in
+        (sol, sol.Sched.Solution.late_jobs));
+  }
+
+let run model limits =
+  let o = run_problem (problem_of_model model) limits in
+  {
+    best = o.best;
+    proved_optimal = o.proved_optimal;
+    nodes = o.nodes;
+    failures = o.failures;
+  }

@@ -1,0 +1,64 @@
+(** Branch-and-bound depth-first search.
+
+    Two branching phases, both standard for CP scheduling:
+
+    1. {e lateness phase}: pick the undecided N_j with the earliest deadline
+       and try N_j = 0 first (commit to meeting the deadline, which tightens
+       the job's completion and start maxima) then N_j = 1;
+    2. {e SetTimes phase}: among unfixed, non-postponed start variables pick
+       the one with minimal est (tie: least slack, then longest duration);
+       left branch fixes start = est, right branch marks the task postponed.
+       A postponed task becomes selectable again when propagation raises its
+       est; a node where every unfixed task is postponed and no est moved is
+       a dominated dead end.  This scheme explores only semi-active
+       schedules, which is exhaustive for regular objectives such as the
+       paper's Σ N_j.
+
+    The search is generic over a {!problem} view so that both the MapReduce
+    model ({!Model}) and extensions (e.g. DAG workflows in [lib/workflow])
+    reuse it; {!run} is the MapReduce-model entry point. *)
+
+type limits = {
+  fail_limit : int;  (** max failures before giving up (0 = unlimited) *)
+  node_limit : int;  (** max nodes (0 = unlimited) *)
+  wall_deadline : float option;  (** Unix.gettimeofday cutoff *)
+}
+
+val no_limits : limits
+
+type start_info = {
+  svar : Store.var;
+  duration : int;
+  deadline : int;  (** of the owning job, for slack tie-breaking *)
+}
+
+type 'a problem = {
+  store : Store.t;
+  starts : start_info array;  (** every pending start variable *)
+  lates : (Store.var * int) array;  (** (N_j, d_j) per job *)
+  bound : int ref;  (** strict upper bound on Σ N_j *)
+  bound_pid : Store.propagator_id;  (** re-scheduled at every node *)
+  extract : unit -> 'a * int;
+      (** payload and its true late count, called at full leaves; only
+          strictly-bound-improving payloads are kept *)
+}
+
+type 'a generic_outcome = {
+  best : 'a option;
+  proved_optimal : bool;
+  nodes : int;
+  failures : int;
+}
+
+val run_problem : 'a problem -> limits -> 'a generic_outcome
+(** Explore.  [problem.bound] must hold the strict bound to beat on entry. *)
+
+type outcome = {
+  best : Sched.Solution.t option;
+  proved_optimal : bool;
+  nodes : int;
+  failures : int;
+}
+
+val run : Model.t -> limits -> outcome
+(** {!run_problem} specialized to the Table-1 MapReduce model. *)

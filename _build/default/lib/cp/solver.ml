@@ -1,0 +1,257 @@
+module T = Mapreduce.Types
+module Instance = Sched.Instance
+module Solution = Sched.Solution
+module Greedy = Sched.Greedy
+
+type options = {
+  ordering : Greedy.order;
+  exact_task_limit : int;
+  fail_limit : int;
+  time_limit : float;
+  lns_neighbors : int;
+  lns_max_stall : int;
+  seed : int;
+}
+
+let default_options =
+  {
+    ordering = Greedy.Edf;
+    exact_task_limit = 120;
+    fail_limit = 20_000;
+    time_limit = 0.5;
+    lns_neighbors = 4;
+    lns_max_stall = 12;
+    seed = 0;
+  }
+
+type stats = {
+  seed_late : int;
+  lower_bound : int;
+  proved_optimal : bool;
+  nodes : int;
+  failures : int;
+  lns_moves : int;
+  elapsed : float;
+}
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "cp-stats<seed_late=%d lb=%d optimal=%b nodes=%d fails=%d lns=%d \
+     t=%.4fs>"
+    s.seed_late s.lower_bound s.proved_optimal s.nodes s.failures s.lns_moves
+    s.elapsed
+
+(* Wave-based lower bound on the span of a task set under a capacity:
+   no schedule can beat the longest task, nor total-work/capacity. *)
+let wave_bound tasks capacity =
+  if Array.length tasks = 0 then 0
+  else begin
+    let total = ref 0 and longest = ref 0 in
+    Array.iter
+      (fun (t : T.task) ->
+        total := !total + (t.T.exec_time * t.T.capacity_req);
+        if t.T.exec_time > !longest then longest := t.T.exec_time)
+      tasks;
+    max !longest (((!total + capacity) - 1) / capacity)
+  end
+
+let job_min_completion (inst : Instance.t) (j : Instance.pending_job) =
+  let map_span = wave_bound j.Instance.pending_maps inst.Instance.map_capacity in
+  let map_end = max j.Instance.frozen_lfmt (j.Instance.est + map_span) in
+  let completion =
+    if Array.length j.Instance.pending_reduces = 0 then map_end
+    else
+      map_end
+      + wave_bound j.Instance.pending_reduces inst.Instance.reduce_capacity
+  in
+  max j.Instance.frozen_completion completion
+
+let late_lower_bound (inst : Instance.t) =
+  Array.fold_left
+    (fun acc j ->
+      if job_min_completion inst j > j.Instance.job.T.deadline then acc + 1
+      else acc)
+    0 inst.Instance.jobs
+
+(* EDF sequence with provably-doomed jobs pushed last: a job that cannot meet
+   its deadline in any schedule should not take resources ahead of savable
+   ones — the sacrifice the CP objective makes naturally, pre-baked into a
+   seed. *)
+let doomed_last_sequence (inst : Instance.t) =
+  let n = Array.length inst.Instance.jobs in
+  let seq = Array.init n (fun i -> i) in
+  let key i =
+    let j = inst.Instance.jobs.(i) in
+    let doomed =
+      if job_min_completion inst j > j.Instance.job.T.deadline then 1 else 0
+    in
+    (doomed, j.Instance.job.T.deadline, j.Instance.job.T.id)
+  in
+  Array.sort (fun a b -> compare (key a) (key b)) seq;
+  seq
+
+(* Best greedy seed across the orderings (plus the doomed-last variant),
+   preferring the configured one on ties. *)
+let greedy_seed ~ordering inst =
+  let preferred = Greedy.solve ~order:ordering inst in
+  let best =
+    List.fold_left
+      (fun best order ->
+        if order = ordering then best
+        else
+          let sol = Greedy.solve ~order inst in
+          if Solution.better sol best then sol else best)
+      preferred
+      [ Greedy.By_job_id; Greedy.Edf; Greedy.Least_laxity ]
+  in
+  let doomed_last =
+    Greedy.solve_with_sequence inst (doomed_last_sequence inst)
+  in
+  if Solution.better doomed_last best then doomed_last else best
+
+(* Freeze the pending tasks of every non-relaxed job at their incumbent
+   start times, producing the LNS subproblem. *)
+let freeze_except (inst : Instance.t) (incumbent : Solution.t) relax_set =
+  let jobs =
+    Array.mapi
+      (fun jdx (j : Instance.pending_job) ->
+        if Hashtbl.mem relax_set jdx then j
+        else begin
+          let freeze (task : T.task) =
+            {
+              Instance.task;
+              start = Solution.start_of incumbent ~task_id:task.T.task_id;
+            }
+          in
+          let new_fixed_maps = Array.map freeze j.Instance.pending_maps in
+          let new_fixed_reduces = Array.map freeze j.Instance.pending_reduces in
+          let completion_of (f : Instance.fixed_task) =
+            f.Instance.start + f.Instance.task.T.exec_time
+          in
+          let fold = Array.fold_left (fun acc f -> max acc (completion_of f)) in
+          let frozen_lfmt = fold j.Instance.frozen_lfmt new_fixed_maps in
+          let frozen_completion =
+            fold (fold (max j.Instance.frozen_completion frozen_lfmt)
+                    new_fixed_maps)
+              new_fixed_reduces
+          in
+          {
+            j with
+            Instance.pending_maps = [||];
+            pending_reduces = [||];
+            fixed_maps = Array.append j.Instance.fixed_maps new_fixed_maps;
+            fixed_reduces =
+              Array.append j.Instance.fixed_reduces new_fixed_reduces;
+            frozen_lfmt;
+            frozen_completion;
+          }
+        end)
+      inst.Instance.jobs
+  in
+  { inst with Instance.jobs = jobs }
+
+let merge_starts (inst : Instance.t) (incumbent : Solution.t)
+    (partial : Solution.t) =
+  let merged = Hashtbl.copy incumbent.Solution.starts in
+  Hashtbl.iter (Hashtbl.replace merged) partial.Solution.starts;
+  Solution.evaluate inst merged
+
+let run_exact inst ~bound_to_beat ~limits =
+  let model = Model.build inst ~horizon:(Model.default_horizon inst) in
+  model.Model.bound := bound_to_beat;
+  Search.run model limits
+
+let solve ?(options = default_options) (inst : Instance.t) =
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. options.time_limit in
+  let seed_sol = greedy_seed ~ordering:options.ordering inst in
+  let lb = late_lower_bound inst in
+  let nodes = ref 0 and failures = ref 0 and lns_moves = ref 0 in
+  let finish incumbent proved =
+    ( incumbent,
+      {
+        seed_late = seed_sol.Solution.late_jobs;
+        lower_bound = lb;
+        proved_optimal = proved;
+        nodes = !nodes;
+        failures = !failures;
+        lns_moves = !lns_moves;
+        elapsed = Unix.gettimeofday () -. t0;
+      } )
+  in
+  if seed_sol.Solution.late_jobs <= lb then finish seed_sol true
+  else begin
+    let task_count = Instance.pending_task_count inst in
+    if task_count <= options.exact_task_limit then begin
+      let limits =
+        {
+          Search.fail_limit = options.fail_limit;
+          node_limit = 0;
+          wall_deadline = Some deadline;
+        }
+      in
+      let outcome = run_exact inst ~bound_to_beat:seed_sol.Solution.late_jobs
+          ~limits
+      in
+      nodes := outcome.Search.nodes;
+      failures := outcome.Search.failures;
+      let incumbent =
+        match outcome.Search.best with
+        | Some better -> better
+        | None -> seed_sol
+      in
+      finish incumbent outcome.Search.proved_optimal
+    end
+    else begin
+      (* LNS over job neighbourhoods *)
+      let rng = Simrand.Rng.create options.seed in
+      let n_jobs = Array.length inst.Instance.jobs in
+      let incumbent = ref seed_sol in
+      let stall = ref 0 in
+      let continue () =
+        !incumbent.Solution.late_jobs > lb
+        && !stall < options.lns_max_stall
+        && Unix.gettimeofday () < deadline
+      in
+      while continue () do
+        incr lns_moves;
+        let relax_set = Hashtbl.create 16 in
+        (* all currently-late jobs ... *)
+        Array.iteri
+          (fun jdx (j : Instance.pending_job) ->
+            let completion =
+              Solution.job_completion j !incumbent.Solution.starts
+            in
+            if completion > j.Instance.job.T.deadline then
+              Hashtbl.replace relax_set jdx ())
+          inst.Instance.jobs;
+        (* ... plus a few random neighbours *)
+        for _ = 1 to options.lns_neighbors do
+          Hashtbl.replace relax_set (Simrand.Rng.int rng n_jobs) ()
+        done;
+        let sub = freeze_except inst !incumbent relax_set in
+        let limits =
+          {
+            Search.fail_limit = options.fail_limit;
+            node_limit = 0;
+            wall_deadline = Some deadline;
+          }
+        in
+        let outcome =
+          run_exact sub ~bound_to_beat:!incumbent.Solution.late_jobs ~limits
+        in
+        nodes := !nodes + outcome.Search.nodes;
+        failures := !failures + outcome.Search.failures;
+        match outcome.Search.best with
+        | Some partial ->
+            let merged = merge_starts inst !incumbent partial in
+            if Solution.better merged !incumbent then begin
+              incumbent := merged;
+              stall := 0
+            end
+            else incr stall
+        | None -> incr stall
+      done;
+      finish !incumbent (!incumbent.Solution.late_jobs <= lb)
+    end
+  end

@@ -1,0 +1,50 @@
+(** Anytime solver for a scheduling instance — the role CPLEX CP Optimizer
+    plays in the paper (§IV–V).
+
+    Pipeline:
+    + seed with greedy list schedules under the paper's three job orderings
+      (§VI.B) and keep the best;
+    + compute a per-job lower bound on Σ N_j ({!late_lower_bound}: a job whose
+      est + wave-bound makespan already exceeds its deadline is late in every
+      schedule); if the seed meets the bound it is optimal — the common case
+      in the paper's open system, which is what keeps the measured overhead
+      O small;
+    + otherwise run exact branch-and-bound when the instance is small enough,
+      or large-neighbourhood search (relax the late jobs plus a few random
+      ones, fix everything else, exactly re-solve the fragment) under a time
+      budget — the same anytime regime CP Optimizer applies to models of this
+      shape. *)
+
+type options = {
+  ordering : Sched.Greedy.order;
+      (** job-ordering strategy for the greedy seed (paper §VI.B) *)
+  exact_task_limit : int;
+      (** run global B&B when #pending tasks ≤ this (default 120) *)
+  fail_limit : int;  (** failure budget per exact search (default 20_000) *)
+  time_limit : float;  (** wall-clock seconds for the whole solve *)
+  lns_neighbors : int;  (** extra random jobs relaxed per LNS move *)
+  lns_max_stall : int;  (** stop after this many non-improving moves *)
+  seed : int;  (** randomization seed for LNS *)
+}
+
+val default_options : options
+
+type stats = {
+  seed_late : int;  (** late jobs in the greedy seed *)
+  lower_bound : int;
+  proved_optimal : bool;
+  nodes : int;
+  failures : int;
+  lns_moves : int;
+  elapsed : float;  (** wall-clock seconds spent *)
+}
+
+val late_lower_bound : Sched.Instance.t -> int
+(** Number of jobs that are late in {e every} schedule: est plus the
+    single-job wave lower bound (max task length vs. total-work/capacity,
+    per phase) already exceeds the deadline. *)
+
+val solve : ?options:options -> Sched.Instance.t -> Sched.Solution.t * stats
+(** Never fails: at worst returns the greedy seed. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,196 @@
+exception Fail of string
+
+type var = int
+type propagator_id = int
+
+(* Growable int array. *)
+module Vec = struct
+  type t = { mutable data : int array; mutable len : int }
+
+  let create () = { data = Array.make 64 0; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let data' = Array.make (2 * v.len) 0 in
+      Array.blit v.data 0 data' 0 v.len;
+      v.data <- data'
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let pop v =
+    v.len <- v.len - 1;
+    v.data.(v.len)
+
+  let length v = v.len
+end
+
+type propagator = { run : t -> unit; priority : int; mutable queued : bool }
+
+and t = {
+  mutable mins : int array;
+  mutable maxs : int array;
+  mutable nvars : int;
+  mutable watchers : propagator_id list array;
+  mutable props : propagator array;
+  mutable nprops : int;
+  (* Three priority buckets of pending propagators. *)
+  queues : propagator_id Queue.t array;
+  (* trail: packed entries (var lsl 1 lor is_min_bit, old_value) *)
+  trail_tags : Vec.t;
+  trail_values : Vec.t;
+  level_marks : Vec.t;
+  mutable propagations : int;
+}
+
+let create () =
+  {
+    mins = Array.make 64 0;
+    maxs = Array.make 64 0;
+    nvars = 0;
+    watchers = Array.make 64 [];
+    props = Array.make 16 { run = (fun _ -> ()); priority = 1; queued = false };
+    nprops = 0;
+    queues = Array.init 3 (fun _ -> Queue.create ());
+    trail_tags = Vec.create ();
+    trail_values = Vec.create ();
+    level_marks = Vec.create ();
+    propagations = 0;
+  }
+
+let grow_watchers a len n =
+  let a' = Array.make n [] in
+  Array.blit a 0 a' 0 len;
+  a'
+
+let new_var t ~min ~max =
+  if min > max then invalid_arg "Store.new_var: min > max";
+  let id = t.nvars in
+  if id = Array.length t.mins then begin
+    let n = 2 * id in
+    let grow a fill =
+      let a' = Array.make n fill in
+      Array.blit a 0 a' 0 id;
+      a'
+    in
+    t.mins <- grow t.mins 0;
+    t.maxs <- grow t.maxs 0;
+    t.watchers <- grow_watchers t.watchers id n
+  end;
+  t.mins.(id) <- min;
+  t.maxs.(id) <- max;
+  t.watchers.(id) <- [];
+  t.nvars <- id + 1;
+  id
+
+let min_of t v = t.mins.(v)
+let max_of t v = t.maxs.(v)
+let is_fixed t v = t.mins.(v) = t.maxs.(v)
+
+let value t v =
+  if not (is_fixed t v) then invalid_arg "Store.value: variable not fixed";
+  t.mins.(v)
+
+let enqueue t pid =
+  let p = t.props.(pid) in
+  if not p.queued then begin
+    p.queued <- true;
+    Queue.push pid t.queues.(p.priority)
+  end
+
+let notify t v = List.iter (enqueue t) t.watchers.(v)
+
+let set_min t v x =
+  if x > t.maxs.(v) then
+    raise (Fail (Printf.sprintf "var %d: min %d > max %d" v x t.maxs.(v)));
+  if x > t.mins.(v) then begin
+    Vec.push t.trail_tags ((v lsl 1) lor 1);
+    Vec.push t.trail_values t.mins.(v);
+    t.mins.(v) <- x;
+    notify t v
+  end
+
+let set_max t v x =
+  if x < t.mins.(v) then
+    raise (Fail (Printf.sprintf "var %d: max %d < min %d" v x t.mins.(v)));
+  if x < t.maxs.(v) then begin
+    Vec.push t.trail_tags (v lsl 1);
+    Vec.push t.trail_values t.maxs.(v);
+    t.maxs.(v) <- x;
+    notify t v
+  end
+
+let fix t v x =
+  set_min t v x;
+  set_max t v x
+
+let register t ?(priority = 1) run =
+  if priority < 0 || priority > 2 then
+    invalid_arg "Store.register: priority must be 0, 1 or 2";
+  let id = t.nprops in
+  if id = Array.length t.props then begin
+    let props' = Array.make (2 * id) t.props.(0) in
+    Array.blit t.props 0 props' 0 id;
+    t.props <- props'
+  end;
+  t.props.(id) <- { run; priority; queued = false };
+  t.nprops <- id + 1;
+  id
+
+let watch t v pid = t.watchers.(v) <- pid :: t.watchers.(v)
+let schedule = enqueue
+
+let propagate t =
+  let rec next_pid () =
+    if not (Queue.is_empty t.queues.(0)) then Some (Queue.pop t.queues.(0))
+    else if not (Queue.is_empty t.queues.(1)) then Some (Queue.pop t.queues.(1))
+    else if not (Queue.is_empty t.queues.(2)) then Some (Queue.pop t.queues.(2))
+    else None
+  and loop () =
+    match next_pid () with
+    | None -> ()
+    | Some pid ->
+        let p = t.props.(pid) in
+        p.queued <- false;
+        t.propagations <- t.propagations + 1;
+        p.run t;
+        loop ()
+  in
+  try loop ()
+  with Fail _ as e ->
+    (* Drain the queue so the next propagation starts clean. *)
+    Array.iter
+      (fun q ->
+        Queue.iter (fun pid -> t.props.(pid).queued <- false) q;
+        Queue.clear q)
+      t.queues;
+    raise e
+
+let push_level t = Vec.push t.level_marks (Vec.length t.trail_tags)
+
+let backtrack t =
+  if Vec.length t.level_marks = 0 then
+    invalid_arg "Store.backtrack: already at root";
+  let mark = Vec.pop t.level_marks in
+  while Vec.length t.trail_tags > mark do
+    let tag = Vec.pop t.trail_tags in
+    let old_value = Vec.pop t.trail_values in
+    let v = tag lsr 1 in
+    if tag land 1 = 1 then t.mins.(v) <- old_value else t.maxs.(v) <- old_value
+  done
+
+let level t = Vec.length t.level_marks
+
+let backtrack_to_root t =
+  while level t > 0 do
+    backtrack t
+  done;
+  (* no propagators should survive across a full reset *)
+  Array.iter
+    (fun q ->
+      Queue.iter (fun pid -> t.props.(pid).queued <- false) q;
+      Queue.clear q)
+    t.queues
+
+let num_vars t = t.nvars
+let stats_propagations t = t.propagations

@@ -1,0 +1,69 @@
+(** Constraint store: trailed integer variables with bounds domains, a
+    propagation queue, and chronological backtracking.
+
+    This is the kernel under the scheduling model of paper Table 1.  Domains
+    are intervals [min, max] — bounds consistency is the standard (and
+    sufficient) level for scheduling propagators such as [cumulative]; the
+    0/1 lateness variables are intervals of size ≤ 2.
+
+    Failure is signalled with the {!Fail} exception, caught by the search. *)
+
+exception Fail of string
+(** Raised when a domain empties or a propagator detects inconsistency. *)
+
+type t
+type var = int
+
+val create : unit -> t
+
+val new_var : t -> min:int -> max:int -> var
+(** Fresh variable with the given bounds.  [min <= max] required. *)
+
+val min_of : t -> var -> int
+val max_of : t -> var -> int
+val is_fixed : t -> var -> bool
+val value : t -> var -> int
+(** @raise Invalid_argument if not fixed. *)
+
+val set_min : t -> var -> int -> unit
+(** Raise the lower bound.  No-op if already at least that.  @raise Fail when
+    it would cross the upper bound. *)
+
+val set_max : t -> var -> int -> unit
+val fix : t -> var -> int -> unit
+
+(** {2 Propagators} *)
+
+type propagator_id
+
+val register : t -> ?priority:int -> (t -> unit) -> propagator_id
+(** Add a propagator.  Lower [priority] runs first (default 1; use 0 for
+    cheap binary constraints, 2 for heavy global constraints).  The function
+    is called with the store and must prune via [set_min]/[set_max] or raise
+    {!Fail}. *)
+
+val watch : t -> var -> propagator_id -> unit
+(** Enqueue the propagator whenever the variable's bounds change. *)
+
+val schedule : t -> propagator_id -> unit
+(** Explicitly enqueue (e.g. once after registration, for the initial run). *)
+
+val propagate : t -> unit
+(** Run the queue to fixpoint.  @raise Fail on inconsistency. *)
+
+(** {2 Backtracking} *)
+
+val push_level : t -> unit
+val backtrack : t -> unit
+(** Undo to the most recent level.  @raise Invalid_argument at root. *)
+
+val level : t -> int
+(** Current depth (0 at root). *)
+
+val backtrack_to_root : t -> unit
+
+(** {2 Introspection} *)
+
+val num_vars : t -> int
+val stats_propagations : t -> int
+(** Number of propagator executions so far (for benchmarks). *)

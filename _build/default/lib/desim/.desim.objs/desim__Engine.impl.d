@@ -1,0 +1,1 @@
+lib/desim/engine.ml: Hashtbl Heap Printf

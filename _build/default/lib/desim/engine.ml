@@ -1,0 +1,95 @@
+type t = {
+  mutable clock : int;
+  queue : (int * int * (t -> unit)) Heap.t; (* payload: (id, at, action) *)
+  scheduled : (int, unit) Hashtbl.t; (* ids in the queue, not yet cancelled *)
+  mutable next_id : int;
+}
+
+type handle = int
+
+let create ?(start_time = 0) () =
+  {
+    clock = start_time;
+    queue = Heap.create ();
+    scheduled = Hashtbl.create 64;
+    next_id = 0;
+  }
+
+let now t = t.clock
+
+(* Events at the same instant fire in (rank, insertion order): ranks let a
+   simulation express that e.g. task completions must be processed before
+   task starts scheduled for the same time.  The heap key packs
+   (at, rank) into one int; virtual times therefore must stay below 2^59. *)
+let max_rank = 3
+
+let pack ~at ~rank = (at lsl 2) lor rank
+
+let schedule ?(rank = 1) t ~at action =
+  if at < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%d is before now=%d" at t.clock);
+  if rank < 0 || rank > max_rank then
+    invalid_arg "Engine.schedule: rank out of range";
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Heap.push t.queue ~key:(pack ~at ~rank) (id, at, action);
+  Hashtbl.replace t.scheduled id ();
+  id
+
+let schedule_after ?rank t ~delay action =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule ?rank t ~at:(t.clock + delay) action
+
+(* Cancelling an event that already fired (or was already cancelled) is a
+   no-op by design: handles may be kept past the event's lifetime. *)
+let cancel t handle = Hashtbl.remove t.scheduled handle
+
+let pending t = Hashtbl.length t.scheduled
+
+(* Pop the next live event, discarding cancelled entries. *)
+let rec pop_live t =
+  match Heap.pop t.queue with
+  | None -> None
+  | Some (_, (id, at, action)) ->
+      if Hashtbl.mem t.scheduled id then begin
+        Hashtbl.remove t.scheduled id;
+        Some (at, action)
+      end
+      else pop_live t
+
+let peek_live t =
+  let rec loop () =
+    match Heap.peek t.queue with
+    | None -> None
+    | Some (_, (id, at, _)) ->
+        if Hashtbl.mem t.scheduled id then Some at
+        else begin
+          ignore (Heap.pop t.queue);
+          loop ()
+        end
+  in
+  loop ()
+
+let step t =
+  match pop_live t with
+  | None -> false
+  | Some (at, action) ->
+      t.clock <- at;
+      action t;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue do
+        match peek_live t with
+        | Some at when at <= horizon -> ignore (step t)
+        | Some _ | None ->
+            t.clock <- max t.clock horizon;
+            continue := false
+      done
+
+let run_until_empty t = run t

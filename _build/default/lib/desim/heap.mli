@@ -1,0 +1,25 @@
+(** A minimum binary heap specialized to [(key, payload)] pairs with integer
+    keys, used as the simulator's future event list and by several schedulers
+    (e.g. the earliest-available-slot queues of the greedy list scheduler).
+
+    Ties on the key are broken by insertion order (FIFO), which makes every
+    simulation deterministic for a given seed. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> 'a -> unit
+
+val peek : 'a t -> (int * 'a) option
+(** Smallest key with its payload, without removing it. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the smallest element; FIFO among equal keys. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (int * 'a) list
+(** Non-destructive ascending-key drain (copies the heap); for tests. *)

@@ -1,0 +1,1 @@
+lib/experiments/cp_vs_lp.ml: Array Cp List Lp Mapreduce Option Report Sched Simrand Unix

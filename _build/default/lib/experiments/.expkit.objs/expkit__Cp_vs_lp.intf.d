@@ -1,0 +1,1 @@
+lib/experiments/cp_vs_lp.mli:

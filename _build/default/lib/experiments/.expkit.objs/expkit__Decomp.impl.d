@@ -1,0 +1,1 @@
+lib/experiments/decomp.ml: Array Cp List Mapreduce Mrcp Option Report Sched Simrand Unix

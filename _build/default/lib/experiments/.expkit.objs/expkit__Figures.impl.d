@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: List Mapreduce Printf Report Runner Sched

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Baselines Cp Format List Mapreduce Mrcp Opensim Option Printf Report Sched Simstats Unix

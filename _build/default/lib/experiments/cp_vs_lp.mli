@@ -1,0 +1,31 @@
+(** The CP-vs-LP scaling comparison that motivated the paper (§I, citing the
+    authors' earlier study [12]: CP offered "lower processing time overhead
+    and the ability to handle larger workloads" than an LP formulation).
+
+    Closed batches of growing size are solved by (a) the CP solver (exact
+    Table-1 model, integer time, no discretization) and (b) the time-indexed
+    MILP ({!Lp.Milp_model}) under a wall-clock budget.  The table reports,
+    per batch size: solver time, late-job count, optimality proof, and for
+    the MILP its variable count — the quantity that explodes with the
+    horizon and caps the LP approach. *)
+
+type row = {
+  jobs : int;
+  tasks : int;
+  cp_time_s : float;
+  cp_late : int;
+  cp_optimal : bool;
+  milp_vars : int;
+  milp_time_s : float;
+  milp_late : int option;  (** [None] when no incumbent within budget *)
+  milp_optimal : bool;
+}
+
+val run :
+  ?sizes:int list -> ?milp_budget:float -> ?seed:int -> unit -> row list
+(** Defaults: sizes [1;2;3;4;5], 5 s MILP budget per batch (the budget can
+    be exceeded by the node in flight — the simplex is not interruptible,
+    which is itself part of the scaling story). *)
+
+val render : row list -> string
+val to_csv : row list -> string

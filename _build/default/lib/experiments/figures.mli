@@ -1,0 +1,52 @@
+(** One entry per table/figure of the paper's evaluation (§VI), plus the
+    ablations called out in DESIGN.md.  Each figure is a list of {!Runner}
+    points (one per x-axis value and manager); rendering and CSV emission are
+    shared.
+
+    Factor-at-a-time defaults (DESIGN.md §4): e_max=50 s, p=0.5,
+    s_max=50 000 s, d_M=5, λ=0.01 jobs/s, m=50 resources with 2+2 slots. *)
+
+type figure = {
+  id : string;  (** e.g. "fig2" *)
+  title : string;
+  x_label : string;
+  points : Runner.point list;
+}
+
+val synthetic_defaults : Mapreduce.Synthetic.params
+(** The boldface column of Table 3 as reconstructed in DESIGN.md. *)
+
+val fig2_3 : config:Runner.config -> lambdas:float list -> figure
+(** Fig. 2 and Fig. 3 share their runs: MRCP-RM vs MinEDF-WC on the Facebook
+    workload; P is Fig. 2's metric, T is Fig. 3's. *)
+
+val fig4 : config:Runner.config -> figure
+(** Effect of task execution time: e_max ∈ {10, 50, 100} s. *)
+
+val fig5 : config:Runner.config -> figure
+(** Effect of earliest start time: s_max ∈ {10 000, 50 000, 250 000} s. *)
+
+val fig6 : config:Runner.config -> figure
+(** Effect of p ∈ {0.1, 0.5, 0.9}. *)
+
+val fig7 : config:Runner.config -> figure
+(** Effect of deadline multiplier: d_M ∈ {2, 5, 10}. *)
+
+val fig8 : config:Runner.config -> figure
+(** Effect of arrival rate: λ ∈ {0.001, 0.01, 0.015, 0.02} jobs/s. *)
+
+val fig9 : config:Runner.config -> figure
+(** Effect of number of resources: m ∈ {25, 50, 100}. *)
+
+val ablation_ordering : config:Runner.config -> figure
+(** §VI.B job-ordering strategies: job-id vs EDF vs least-laxity. *)
+
+val ablation_cp : config:Runner.config -> figure
+(** MRCP-RM vs the same pipeline with CP search disabled (greedy only) vs the
+    slot baselines — isolates the CP solver's contribution to P. *)
+
+val ablation_deferral : config:Runner.config -> figure
+(** §V.E deferral window off / 300 s / 3000 s at high s_max. *)
+
+val render : figure -> string
+val to_csv : figure -> string

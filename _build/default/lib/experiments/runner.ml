@@ -1,0 +1,174 @@
+module T = Mapreduce.Types
+module Sim = Opensim.Simulator
+
+type manager_kind = Mrcp_rm | Min_edf_wc | Edf_wc | Fcfs_wc | Greedy_only
+
+let manager_to_string = function
+  | Mrcp_rm -> "mrcp-rm"
+  | Min_edf_wc -> "minedf-wc"
+  | Edf_wc -> "edf-wc"
+  | Fcfs_wc -> "fcfs-wc"
+  | Greedy_only -> "greedy-only"
+
+type config = {
+  n_jobs : int;
+  reps : int;
+  base_seed : int;
+  manager : manager_kind;
+  ordering : Sched.Greedy.order;
+  solver_time_limit : float;
+  deferral_window : int option;
+  validate : bool;
+}
+
+let default_config =
+  {
+    n_jobs = 200;
+    reps = 3;
+    base_seed = 42;
+    manager = Mrcp_rm;
+    ordering = Sched.Greedy.Edf;
+    solver_time_limit = 0.2;
+    deferral_window = Some 300_000;
+    validate = false;
+  }
+
+type point = {
+  label : string;
+  config : config;
+  o_s : Simstats.Confidence.interval option;
+  t_s : Simstats.Confidence.interval option;
+  p_late : float;
+  n_late_mean : float;
+  o_mean : float;
+  t_mean : float;
+  solves_mean : float;
+  elapsed_s : float;
+}
+
+let make_driver config cluster ~seed =
+  match config.manager with
+  | Mrcp_rm | Greedy_only ->
+      let solver =
+        {
+          Cp.Solver.default_options with
+          Cp.Solver.ordering = config.ordering;
+          time_limit = config.solver_time_limit;
+          seed;
+        }
+      in
+      let solver =
+        if config.manager = Greedy_only then
+          { solver with Cp.Solver.exact_task_limit = 0; lns_max_stall = 0;
+            time_limit = 0. }
+        else solver
+      in
+      let mconfig =
+        {
+          Mrcp.Manager.solver;
+          deferral_window = config.deferral_window;
+          validate = config.validate;
+        }
+      in
+      Opensim.Driver.of_mrcp (Mrcp.Manager.create ~cluster mconfig)
+  | Min_edf_wc | Edf_wc | Fcfs_wc ->
+      let policy =
+        match config.manager with
+        | Min_edf_wc -> Baselines.Slot_scheduler.Min_edf_wc
+        | Edf_wc -> Baselines.Slot_scheduler.Edf_wc
+        | Fcfs_wc | Mrcp_rm | Greedy_only -> Baselines.Slot_scheduler.Fcfs_wc
+      in
+      Opensim.Driver.of_slot_scheduler
+        (Baselines.Slot_scheduler.create ~cluster ~policy)
+
+let summarize ~label ~config ~elapsed results =
+  let metric f = Array.of_list (List.map f results) in
+  let o = metric (fun r -> r.Sim.overhead_per_job_s) in
+  let t = metric (fun r -> r.Sim.avg_turnaround_s) in
+  let ci samples =
+    if Array.length samples >= 2 then
+      Some (Simstats.Confidence.of_samples samples)
+    else None
+  in
+  let mean samples =
+    Array.fold_left ( +. ) 0. samples /. float_of_int (Array.length samples)
+  in
+  let late_total =
+    List.fold_left (fun acc r -> acc + r.Sim.n_late) 0 results
+  in
+  let jobs_total =
+    List.fold_left (fun acc r -> acc + r.Sim.jobs_total) 0 results
+  in
+  {
+    label;
+    config;
+    o_s = ci o;
+    t_s = ci t;
+    p_late = float_of_int late_total /. float_of_int jobs_total;
+    n_late_mean =
+      float_of_int late_total /. float_of_int (List.length results);
+    o_mean = mean o;
+    t_mean = mean t;
+    solves_mean =
+      mean (metric (fun r -> float_of_int r.Sim.solves));
+    elapsed_s = elapsed;
+  }
+
+let replicate ~label ~config ~make_jobs ~cluster =
+  let t0 = Unix.gettimeofday () in
+  let results =
+    List.init config.reps (fun i ->
+        let seed = config.base_seed + (7919 * i) in
+        let jobs = make_jobs ~seed in
+        let driver = make_driver config cluster ~seed in
+        Sim.run ~validate:config.validate ~driver ~jobs ())
+  in
+  summarize ~label ~config ~elapsed:(Unix.gettimeofday () -. t0) results
+
+let run_synthetic ?label ?(m = 50) ?(map_capacity = 2) ?(reduce_capacity = 2)
+    ~params ~config () =
+  let cluster = T.uniform_cluster ~m ~map_capacity ~reduce_capacity in
+  let params = { params with Mapreduce.Synthetic.n_jobs = config.n_jobs } in
+  let label =
+    Option.value label
+      ~default:
+        (Format.asprintf "%s %a" (manager_to_string config.manager)
+           Mapreduce.Synthetic.pp_params params)
+  in
+  let make_jobs ~seed = Mapreduce.Synthetic.generate params ~cluster ~seed in
+  replicate ~label ~config ~make_jobs ~cluster
+
+let run_facebook ?label ~params ~config () =
+  let cluster = Mapreduce.Facebook.cluster () in
+  let params = { params with Mapreduce.Facebook.n_jobs = config.n_jobs } in
+  let label =
+    Option.value label
+      ~default:
+        (Printf.sprintf "%s facebook lambda=%g"
+           (manager_to_string config.manager)
+           params.Mapreduce.Facebook.lambda)
+  in
+  let make_jobs ~seed = Mapreduce.Facebook.generate params ~cluster ~seed in
+  replicate ~label ~config ~make_jobs ~cluster
+
+let point_headers = [ "point"; "O (s/job)"; "T (s)"; "P"; "N/rep"; "wall (s)" ]
+
+let fmt_ci fmt_mean = function
+  | Some (ci : Simstats.Confidence.interval) ->
+      Printf.sprintf "%s ±%.1f%%" (fmt_mean ci.Simstats.Confidence.mean)
+        (100. *. Simstats.Confidence.relative_half_width ci)
+  | None -> "n/a"
+
+let point_row p =
+  [
+    p.label;
+    (match p.o_s with
+    | Some _ -> fmt_ci Report.Table.fmt_seconds p.o_s
+    | None -> Report.Table.fmt_seconds p.o_mean);
+    (match p.t_s with
+    | Some _ -> fmt_ci (fun x -> Report.Table.fmt_float ~decimals:1 x) p.t_s
+    | None -> Report.Table.fmt_float ~decimals:1 p.t_mean);
+    Report.Table.fmt_pct p.p_late;
+    Report.Table.fmt_float ~decimals:1 p.n_late_mean;
+    Report.Table.fmt_float ~decimals:1 p.elapsed_s;
+  ]

@@ -1,0 +1,67 @@
+(** Shared experiment runner: one "point" = one (workload, system, manager)
+    configuration, replicated over several seeds, summarizing the paper's
+    four metrics.  Used by bin/experiments.ml (figure regeneration) and
+    bench/main.ml. *)
+
+type manager_kind =
+  | Mrcp_rm  (** the paper's contribution *)
+  | Min_edf_wc  (** Verma et al. [8], the Fig. 2/3 comparator *)
+  | Edf_wc  (** ablation: work-conserving EDF without min allocation *)
+  | Fcfs_wc  (** ablation: FCFS *)
+  | Greedy_only
+      (** ablation: MRCP-RM pipeline with the CP improvement search disabled
+          (greedy seed only) — isolates the CP solver's contribution *)
+
+val manager_to_string : manager_kind -> string
+
+type config = {
+  n_jobs : int;  (** jobs per replication *)
+  reps : int;  (** replications (paper: until CI ±1%; here fixed count) *)
+  base_seed : int;
+  manager : manager_kind;
+  ordering : Sched.Greedy.order;  (** MRCP-RM job-ordering strategy *)
+  solver_time_limit : float;  (** per-invocation CP budget, seconds *)
+  deferral_window : int option;  (** §V.E, ms *)
+  validate : bool;
+}
+
+val default_config : config
+(** 200 jobs, 3 reps, MRCP-RM, EDF, 0.2 s budget, 300 s deferral window. *)
+
+type point = {
+  label : string;
+  config : config;
+  o_s : Simstats.Confidence.interval option;  (** O: overhead per job, s *)
+  t_s : Simstats.Confidence.interval option;  (** T: turnaround, s *)
+  p_late : float;  (** P: pooled late fraction over all reps *)
+  n_late_mean : float;  (** N per replication *)
+  o_mean : float;
+  t_mean : float;
+  solves_mean : float;
+  elapsed_s : float;  (** wall-clock cost of producing this point *)
+}
+
+val run_synthetic :
+  ?label:string ->
+  ?m:int ->
+  ?map_capacity:int ->
+  ?reduce_capacity:int ->
+  params:Mapreduce.Synthetic.params ->
+  config:config ->
+  unit ->
+  point
+(** Table-3 synthetic workload on an m-resource cluster (defaults m=50,
+    2 map + 2 reduce slots — the paper's defaults). *)
+
+val run_facebook :
+  ?label:string ->
+  params:Mapreduce.Facebook.params ->
+  config:config ->
+  unit ->
+  point
+(** Table-4 Facebook workload on the 64×(1,1) cluster of Fig. 2/3. *)
+
+val point_row : point -> string list
+(** [label; O; T; P; N] formatted for {!Report.Table}. *)
+
+val point_headers : string list

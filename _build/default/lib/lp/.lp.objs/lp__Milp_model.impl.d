@@ -1,0 +1,1 @@
+lib/lp/milp_model.ml: Array Fun Hashtbl List Mapreduce Mip Option Printf Sched Simplex

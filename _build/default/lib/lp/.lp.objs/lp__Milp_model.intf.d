@@ -1,0 +1,1 @@
+lib/lp/milp_model.mli: Mip Sched Simplex

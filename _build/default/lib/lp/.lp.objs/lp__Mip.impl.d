@@ -1,0 +1,1 @@
+lib/lp/mip.ml: Array Float List Simplex Unix

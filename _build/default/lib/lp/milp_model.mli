@@ -1,0 +1,40 @@
+(** Time-indexed MILP formulation of the matchmaking-and-scheduling problem —
+    the LP-based alternative the paper compares CP against (§I, citing the
+    authors' earlier CP-vs-LP study [12] and the LP formulation of [18]).
+
+    Unlike the CP model (integer start variables, no time discretization —
+    an advantage §IV explicitly credits to CP Optimizer), an LP/MILP
+    formulation must discretize time: binary variable x_{t,τ} means "task t
+    starts at slot τ".  Constraints: each task starts exactly once at or
+    after its job's earliest start; per-slot pool capacities; reduces start
+    after every map of their job completes; a job finishing after its
+    deadline forces its binary N_j.  Objective: minimize Σ N_j.
+
+    The variable count is Σ_t O(horizon/quantum), which is why this
+    formulation only works for small batches — exactly the scaling contrast
+    with CP that motivated the paper.  Solved with the in-repo
+    {!Simplex}/{!Mip}. *)
+
+type model
+
+val build :
+  Sched.Instance.t -> quantum:int -> horizon_slots:int -> model
+(** Discretize with [quantum] ms per slot over [horizon_slots] slots.  The
+    instance must be a fresh closed batch (no frozen tasks).  Execution
+    times and earliest starts are rounded up, deadlines down — the MILP is
+    conservative w.r.t. the exact-time CP model unless [quantum] divides all
+    times (tests use such instances for exact cross-checks).
+    @raise Invalid_argument on frozen tasks or a horizon too short for some
+    task. *)
+
+val variables : model -> int
+val problem : model -> Simplex.problem
+
+val solve :
+  ?limits:Mip.limits -> model -> (Sched.Solution.t option * Mip.outcome)
+(** Run branch-and-bound and decode the incumbent into task start times (in
+    ms, on the combined resource), evaluated against the original instance. *)
+
+val suggested_horizon_slots : Sched.Instance.t -> quantum:int -> int
+(** Greedy-seed makespan rounded up — a horizon that provably contains an
+    optimal schedule. *)

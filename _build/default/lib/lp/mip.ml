@@ -1,0 +1,93 @@
+type limits = { max_nodes : int; wall_deadline : float option }
+
+let no_limits = { max_nodes = 0; wall_deadline = None }
+
+type outcome = {
+  best : (float * float array) option;
+  proved_optimal : bool;
+  nodes : int;
+}
+
+exception Limit_reached
+
+let solve ?(limits = no_limits) ?(integrality_eps = 1e-6)
+    (problem : Simplex.problem) ~integer =
+  let n = Array.length problem.Simplex.objective in
+  List.iter
+    (fun j ->
+      if j < 0 || j >= n then invalid_arg "Mip.solve: integer index range")
+    integer;
+  let best = ref None in
+  let nodes = ref 0 in
+  let check_limits () =
+    if limits.max_nodes > 0 && !nodes >= limits.max_nodes then
+      raise Limit_reached;
+    match limits.wall_deadline with
+    | Some d when !nodes land 15 = 0 && Unix.gettimeofday () > d ->
+        raise Limit_reached
+    | _ -> ()
+  in
+  let fractional x =
+    (* most fractional integer variable, or None if all integral *)
+    let best_j = ref (-1) and best_frac = ref integrality_eps in
+    List.iter
+      (fun j ->
+        let v = x.(j) in
+        let frac = Float.abs (v -. Float.round v) in
+        if frac > !best_frac then begin
+          best_frac := frac;
+          best_j := j
+        end)
+      integer;
+    if !best_j < 0 then None else Some !best_j
+  in
+  let bound_row j relation rhs =
+    let coeffs = Array.make n 0. in
+    coeffs.(j) <- 1.;
+    { Simplex.coeffs; relation; rhs }
+  in
+  let rec branch extra_rows =
+    check_limits ();
+    incr nodes;
+    let p = { problem with Simplex.rows = extra_rows @ problem.Simplex.rows } in
+    match Simplex.solve p with
+    | Simplex.Infeasible -> ()
+    | Simplex.Unbounded ->
+        (* an unbounded relaxation cannot be pruned; treat as a failure of
+           the model (our scheduling MILPs are always bounded) *)
+        failwith "Mip.solve: unbounded relaxation"
+    | Simplex.Optimal { objective; solution } -> (
+        let dominated =
+          match !best with
+          | Some (incumbent, _) -> objective >= incumbent -. 1e-9
+          | None -> false
+        in
+        if not dominated then
+          match fractional solution with
+          | None -> best := Some (objective, Array.copy solution)
+          | Some j ->
+              let v = solution.(j) in
+              let lo = Float.of_int (int_of_float (Float.floor v)) in
+              (* explore the side closer to the relaxation first *)
+              let down () =
+                branch (bound_row j Simplex.Le lo :: extra_rows)
+              in
+              let up () =
+                branch (bound_row j Simplex.Ge (lo +. 1.) :: extra_rows)
+              in
+              if v -. lo <= 0.5 then begin
+                down ();
+                up ()
+              end
+              else begin
+                up ();
+                down ()
+              end)
+  in
+  let proved_optimal =
+    try
+      branch [];
+      true
+    with Limit_reached -> false
+  in
+  { best = !best; proved_optimal; nodes = !nodes }

@@ -1,0 +1,249 @@
+type relation = Le | Eq | Ge
+
+type constraint_row = {
+  coeffs : float array;
+  relation : relation;
+  rhs : float;
+}
+
+type problem = { objective : float array; rows : constraint_row list }
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+(* Internal tableau for phase 1/2.
+
+   Layout: columns 0..n-1 original variables, then slack/surplus columns,
+   then artificial columns, last column = RHS.  [basis.(i)] is the column
+   basic in row i.  The objective row is kept separately as reduced costs
+   plus current objective value. *)
+type tableau = {
+  mutable a : float array array; (* m rows, each of width ncols+1 *)
+  m : int;
+  ncols : int;
+  basis : int array;
+}
+
+let pivot t ~row ~col =
+  let arow = t.a.(row) in
+  let p = arow.(col) in
+  for j = 0 to t.ncols do
+    arow.(j) <- arow.(j) /. p
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let r = t.a.(i) in
+      let f = r.(col) in
+      if Float.abs f > eps then
+        for j = 0 to t.ncols do
+          r.(j) <- r.(j) -. (f *. arow.(j))
+        done
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Minimize the objective encoded in reduced-cost vector [z] (length ncols)
+   with value cell [zval]; Bland's rule.  Returns `Optimal or `Unbounded.
+   [allowed] masks columns that may enter (used to bar artificials in
+   phase 2). *)
+let optimize t z zval ~allowed =
+  let rec loop () =
+    (* entering: smallest index with negative reduced cost *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.ncols - 1 do
+         if allowed.(j) && z.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      (* leaving: min ratio, ties by smallest basis column (Bland) *)
+      let best_row = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        let aij = t.a.(i).(col) in
+        if aij > eps then begin
+          let ratio = t.a.(i).(t.ncols) /. aij in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps
+               && (!best_row < 0 || t.basis.(i) < t.basis.(!best_row)))
+          then begin
+            best_ratio := ratio;
+            best_row := i
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        let row = !best_row in
+        pivot t ~row ~col;
+        (* update objective row *)
+        let f = z.(col) in
+        if Float.abs f > eps then begin
+          let arow = t.a.(row) in
+          for j = 0 to t.ncols - 1 do
+            z.(j) <- z.(j) -. (f *. arow.(j))
+          done;
+          zval := !zval -. (f *. arow.(t.ncols))
+        end;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve { objective; rows } =
+  let n = Array.length objective in
+  List.iter
+    (fun r ->
+      if Array.length r.coeffs <> n then
+        invalid_arg "Simplex.solve: ragged constraint row")
+    rows;
+  let rows = Array.of_list rows in
+  let m = Array.length rows in
+  (* normalize to non-negative RHS *)
+  let rows =
+    Array.map
+      (fun r ->
+        if r.rhs < 0. then
+          {
+            coeffs = Array.map (fun c -> -.c) r.coeffs;
+            relation = (match r.relation with Le -> Ge | Ge -> Le | Eq -> Eq);
+            rhs = -.r.rhs;
+          }
+        else r)
+      rows
+  in
+  (* column layout *)
+  let n_slack =
+    Array.fold_left
+      (fun acc r -> match r.relation with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows
+  in
+  let n_artificial =
+    Array.fold_left
+      (fun acc r -> match r.relation with Ge | Eq -> acc + 1 | Le -> acc)
+      0 rows
+  in
+  let ncols = n + n_slack + n_artificial in
+  let t =
+    {
+      a = Array.init m (fun _ -> Array.make (ncols + 1) 0.);
+      m;
+      ncols;
+      basis = Array.make m (-1);
+    }
+  in
+  let next_slack = ref n in
+  let next_artificial = ref (n + n_slack) in
+  let artificial_cols = ref [] in
+  Array.iteri
+    (fun i r ->
+      Array.blit r.coeffs 0 t.a.(i) 0 n;
+      t.a.(i).(ncols) <- r.rhs;
+      (match r.relation with
+      | Le ->
+          t.a.(i).(!next_slack) <- 1.;
+          t.basis.(i) <- !next_slack;
+          incr next_slack
+      | Ge ->
+          t.a.(i).(!next_slack) <- -1.;
+          incr next_slack;
+          t.a.(i).(!next_artificial) <- 1.;
+          t.basis.(i) <- !next_artificial;
+          artificial_cols := !next_artificial :: !artificial_cols;
+          incr next_artificial
+      | Eq ->
+          t.a.(i).(!next_artificial) <- 1.;
+          t.basis.(i) <- !next_artificial;
+          artificial_cols := !next_artificial :: !artificial_cols;
+          incr next_artificial))
+    rows;
+  let is_artificial = Array.make ncols false in
+  List.iter (fun c -> is_artificial.(c) <- true) !artificial_cols;
+  let all_allowed = Array.make ncols true in
+  (* phase 1: minimize sum of artificials *)
+  let outcome_phase1 =
+    if !artificial_cols = [] then `Optimal
+    else begin
+      let z = Array.make ncols 0. in
+      let zval = ref 0. in
+      (* cost 1 on artificials; subtract basic rows to get reduced costs *)
+      Array.iter (fun c -> if is_artificial.(c) then z.(c) <- 1.) (Array.init ncols Fun.id);
+      for i = 0 to m - 1 do
+        if is_artificial.(t.basis.(i)) then begin
+          for j = 0 to ncols - 1 do
+            z.(j) <- z.(j) -. t.a.(i).(j)
+          done;
+          zval := !zval -. t.a.(i).(ncols)
+        end
+      done;
+      match optimize t z zval ~allowed:all_allowed with
+      | `Unbounded -> `Unbounded (* cannot happen: phase-1 obj bounded below *)
+      | `Optimal -> if Float.abs !zval > 1e-6 then `Infeasible else `Optimal
+    end
+  in
+  match outcome_phase1 with
+  | `Infeasible -> Infeasible
+  | `Unbounded -> Unbounded
+  | `Optimal -> (
+      (* drive any artificial still basic at 0 out of the basis *)
+      for i = 0 to m - 1 do
+        if is_artificial.(t.basis.(i)) then begin
+          let pivot_col = ref (-1) in
+          for j = n + n_slack - 1 downto 0 do
+            if Float.abs t.a.(i).(j) > eps then pivot_col := j
+          done;
+          if !pivot_col >= 0 then pivot t ~row:i ~col:!pivot_col
+          (* else the row is all-zero: redundant constraint, harmless *)
+        end
+      done;
+      (* phase 2: original objective, artificials barred *)
+      let allowed = Array.init ncols (fun j -> not is_artificial.(j)) in
+      let z = Array.make ncols 0. in
+      Array.blit objective 0 z 0 n;
+      let zval = ref 0. in
+      for i = 0 to m - 1 do
+        let b = t.basis.(i) in
+        if b < ncols && Float.abs z.(b) > eps then begin
+          let f = z.(b) in
+          for j = 0 to ncols - 1 do
+            z.(j) <- z.(j) -. (f *. t.a.(i).(j))
+          done;
+          zval := !zval -. (f *. t.a.(i).(ncols))
+        end
+      done;
+      match optimize t z zval ~allowed with
+      | `Unbounded -> Unbounded
+      | `Optimal ->
+          let solution = Array.make n 0. in
+          for i = 0 to m - 1 do
+            if t.basis.(i) < n then solution.(t.basis.(i)) <- t.a.(i).(ncols)
+          done;
+          let objective =
+            Array.fold_left ( +. ) 0.
+              (Array.mapi (fun j c -> c *. solution.(j)) objective)
+          in
+          Optimal { objective; solution })
+
+let feasible { objective = _; rows } x =
+  List.for_all
+    (fun r ->
+      let lhs =
+        Array.fold_left ( +. ) 0. (Array.mapi (fun j c -> c *. x.(j)) r.coeffs)
+      in
+      match r.relation with
+      | Le -> lhs <= r.rhs +. 1e-6
+      | Ge -> lhs >= r.rhs -. 1e-6
+      | Eq -> Float.abs (lhs -. r.rhs) <= 1e-6)
+    rows
+  && Array.for_all (fun v -> v >= -1e-6) x

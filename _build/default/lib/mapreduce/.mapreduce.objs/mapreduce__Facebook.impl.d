@@ -1,0 +1,1 @@
+lib/mapreduce/facebook.ml: Array List Simrand Types

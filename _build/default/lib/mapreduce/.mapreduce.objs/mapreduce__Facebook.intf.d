@@ -1,0 +1,1 @@
+lib/mapreduce/facebook.mli: Types

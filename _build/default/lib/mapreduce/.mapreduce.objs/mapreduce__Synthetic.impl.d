@@ -1,0 +1,1 @@
+lib/mapreduce/synthetic.ml: Array Format List Simrand Types

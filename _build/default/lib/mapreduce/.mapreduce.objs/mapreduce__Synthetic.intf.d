@@ -1,0 +1,1 @@
+lib/mapreduce/synthetic.mli: Format Types

@@ -1,0 +1,1 @@
+lib/mapreduce/trace.ml: Array Buffer Fun Hashtbl List Printf Result String Types

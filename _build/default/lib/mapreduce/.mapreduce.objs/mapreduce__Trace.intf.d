@@ -1,0 +1,1 @@
+lib/mapreduce/trace.mli: Types

@@ -1,0 +1,1 @@
+lib/mapreduce/types.mli: Format

@@ -1,0 +1,114 @@
+type params = {
+  n_jobs : int;
+  map_tasks_max : int;
+  reduce_tasks_max : int;
+  e_max : int;
+  reduce_factor : float;
+  p : float;
+  s_max : int;
+  d_m : float;
+  lambda : float;
+}
+
+let default =
+  {
+    n_jobs = 200;
+    map_tasks_max = 100;
+    reduce_tasks_max = 100;
+    e_max = 50;
+    reduce_factor = 3.0;
+    p = 0.5;
+    s_max = 50_000;
+    d_m = 5.0;
+    lambda = 0.01;
+  }
+
+let pp_params fmt p =
+  Format.fprintf fmt
+    "synthetic<n=%d e_max=%ds p=%.2f s_max=%ds d_M=%.1f lambda=%g/s>" p.n_jobs
+    p.e_max p.p p.s_max p.d_m p.lambda
+
+let ms_per_s = 1000
+
+let validate p =
+  if p.n_jobs <= 0 then invalid_arg "Synthetic.generate: n_jobs must be > 0";
+  if p.e_max <= 0 then invalid_arg "Synthetic.generate: e_max must be > 0";
+  if p.map_tasks_max <= 0 || p.reduce_tasks_max <= 0 then
+    invalid_arg "Synthetic.generate: task count bounds must be > 0";
+  if p.p < 0. || p.p > 1. then invalid_arg "Synthetic.generate: p in [0,1]";
+  if p.d_m < 1. then invalid_arg "Synthetic.generate: d_M must be >= 1";
+  if p.lambda <= 0. then invalid_arg "Synthetic.generate: lambda must be > 0"
+
+let generate p ~cluster ~seed =
+  validate p;
+  let root = Simrand.Rng.create seed in
+  (* One independent stream per workload dimension so that changing, say,
+     e_max does not perturb the arrival process of the same seed. *)
+  let arrivals_rng = Simrand.Rng.split root in
+  let shape_rng = Simrand.Rng.split root in
+  let exec_rng = Simrand.Rng.split root in
+  let sla_rng = Simrand.Rng.split root in
+  let next_task_id = ref 0 in
+  let fresh_task job_id kind exec_time =
+    let id = !next_task_id in
+    incr next_task_id;
+    { Types.task_id = id; job_id; kind; exec_time; capacity_req = 1 }
+  in
+  let clock = ref 0. in
+  let make_job id =
+    (* Arrival: Poisson process, rate in jobs/s, clock kept in ms. *)
+    let gap =
+      Simrand.Dist.exponential arrivals_rng ~rate:p.lambda
+      *. float_of_int ms_per_s
+    in
+    clock := !clock +. gap;
+    let arrival = int_of_float !clock in
+    let k_mp = Simrand.Dist.discrete_uniform shape_rng ~lo:1 ~hi:p.map_tasks_max in
+    let k_rd =
+      Simrand.Dist.discrete_uniform shape_rng ~lo:1 ~hi:p.reduce_tasks_max
+    in
+    let map_seconds =
+      Array.init k_mp (fun _ ->
+          Simrand.Dist.discrete_uniform exec_rng ~lo:1 ~hi:p.e_max)
+    in
+    let total_me = Array.fold_left ( + ) 0 map_seconds in
+    let reduce_base =
+      p.reduce_factor *. float_of_int total_me /. float_of_int k_rd
+    in
+    let reduce_seconds =
+      Array.init k_rd (fun _ ->
+          let noise = Simrand.Dist.discrete_uniform exec_rng ~lo:1 ~hi:10 in
+          int_of_float reduce_base + noise)
+    in
+    let map_tasks =
+      Array.map (fun s -> fresh_task id Types.Map_task (s * ms_per_s)) map_seconds
+    in
+    let reduce_tasks =
+      Array.map
+        (fun s -> fresh_task id Types.Reduce_task (s * ms_per_s))
+        reduce_seconds
+    in
+    let earliest_start =
+      if Simrand.Dist.bernoulli sla_rng ~p:p.p then
+        arrival
+        + Simrand.Dist.discrete_uniform sla_rng ~lo:1 ~hi:p.s_max * ms_per_s
+      else arrival
+    in
+    let skeleton =
+      {
+        Types.id;
+        arrival;
+        earliest_start;
+        deadline = max_int;
+        map_tasks;
+        reduce_tasks;
+      }
+    in
+    let te = Types.minimum_execution_time skeleton cluster in
+    let multiplier = Simrand.Dist.uniform sla_rng ~lo:1. ~hi:p.d_m in
+    let deadline =
+      earliest_start + int_of_float (float_of_int te *. multiplier)
+    in
+    { skeleton with deadline }
+  in
+  List.init p.n_jobs make_job

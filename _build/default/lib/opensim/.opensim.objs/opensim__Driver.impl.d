@@ -1,0 +1,1 @@
+lib/opensim/driver.ml: Baselines Mapreduce Mrcp Sched

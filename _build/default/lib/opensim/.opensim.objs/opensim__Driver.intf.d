@@ -1,0 +1,1 @@
+lib/opensim/driver.mli: Baselines Mapreduce Mrcp Sched

@@ -1,0 +1,1 @@
+lib/opensim/simulator.ml: Array Desim Driver Format Hashtbl List Mapreduce Option Sched

@@ -1,0 +1,1 @@
+lib/opensim/simulator.mli: Driver Format Mapreduce

@@ -1,0 +1,59 @@
+type reaction =
+  | Full_plan of Sched.Dispatch.t list
+  | Launch of Sched.Dispatch.t list
+  | No_change
+
+type t = {
+  name : string;
+  submit : now:int -> Mapreduce.Types.job -> unit;
+  task_completed : now:int -> task_id:int -> unit;
+  react : now:int -> reaction;
+  next_wake : now:int -> int option;
+  overhead_seconds : unit -> float;
+  max_invocation_seconds : unit -> float;
+  solve_count : unit -> int;
+  description : string;
+}
+
+let of_mrcp mgr =
+  {
+    name = "mrcp-rm";
+    submit = (fun ~now job -> Mrcp.Manager.submit mgr ~now job);
+    task_completed = (fun ~now:_ ~task_id:_ -> ());
+    react =
+      (let last_version = ref (-1) in
+       fun ~now ->
+         Mrcp.Manager.invoke mgr ~now;
+         let version = Mrcp.Manager.plan_version mgr in
+         if version = !last_version then No_change
+         else begin
+           last_version := version;
+           Full_plan (Mrcp.Manager.plan mgr)
+         end);
+    next_wake = (fun ~now:_ -> Mrcp.Manager.next_wake mgr);
+    overhead_seconds = (fun () -> Mrcp.Manager.overhead_seconds mgr);
+    max_invocation_seconds =
+      (fun () -> Mrcp.Manager.max_invocation_seconds mgr);
+    solve_count = (fun () -> Mrcp.Manager.solve_count mgr);
+    description =
+      "CP-based matchmaking and scheduling (paper Table 2), re-planning \
+       unstarted tasks at every arrival";
+  }
+
+let of_slot_scheduler sched =
+  {
+    name =
+      Baselines.Slot_scheduler.policy_to_string
+        (Baselines.Slot_scheduler.policy sched);
+    submit = (fun ~now job -> Baselines.Slot_scheduler.submit sched ~now job);
+    task_completed =
+      (fun ~now ~task_id ->
+        Baselines.Slot_scheduler.task_completed sched ~now ~task_id);
+    react = (fun ~now -> Launch (Baselines.Slot_scheduler.dispatches sched ~now));
+    next_wake = (fun ~now:_ -> Baselines.Slot_scheduler.next_wake sched);
+    overhead_seconds =
+      (fun () -> Baselines.Slot_scheduler.overhead_seconds sched);
+    max_invocation_seconds = (fun () -> 0.);
+    solve_count = (fun () -> 0);
+    description = "slot-based dynamic scheduler";
+  }

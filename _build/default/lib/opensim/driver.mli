@@ -1,0 +1,40 @@
+(** Adapter interface between the event simulator and a resource manager.
+
+    Two reaction styles exist in this repo:
+    - {e plan-based} managers (MRCP-RM) publish, at each invocation, a full
+      plan of future (resource, slot, start) dispatches for every task that
+      has not started; the simulator reconciles its pending start events
+      against the new plan (tasks may be re-mapped and re-scheduled until the
+      moment they start — Table 2's remapping behaviour);
+    - {e immediate} managers (MinEDF-WC and the other slot schedulers)
+      return tasks to launch right now whenever a slot frees or a job
+      arrives. *)
+
+type reaction =
+  | Full_plan of Sched.Dispatch.t list
+      (** authoritative plan for every unstarted task *)
+  | Launch of Sched.Dispatch.t list
+      (** start these now (all starts = now); previously launched tasks are
+          unaffected *)
+  | No_change
+      (** the manager did not re-plan; keep all pending start events *)
+
+type t = {
+  name : string;
+  submit : now:int -> Mapreduce.Types.job -> unit;
+  task_completed : now:int -> task_id:int -> unit;
+  react : now:int -> reaction;
+      (** called after every submit / completion / wake *)
+  next_wake : now:int -> int option;
+  overhead_seconds : unit -> float;
+  max_invocation_seconds : unit -> float;
+      (** longest single scheduling pass (0 when not tracked) *)
+  solve_count : unit -> int;
+  description : string;
+}
+
+val of_mrcp : Mrcp.Manager.t -> t
+(** Wrap an MRCP-RM manager (plan-based). *)
+
+val of_slot_scheduler : Baselines.Slot_scheduler.t -> t
+(** Wrap a slot scheduler (immediate). *)

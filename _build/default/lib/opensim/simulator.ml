@@ -1,0 +1,298 @@
+module T = Mapreduce.Types
+module Dispatch = Sched.Dispatch
+module Engine = Desim.Engine
+
+type job_outcome = {
+  job : T.job;
+  completion : int;
+  late : bool;
+  turnaround_ms : int;
+}
+
+type results = {
+  manager : string;
+  outcomes : job_outcome list;
+  jobs_total : int;
+  n_late : int;
+  p_late : float;
+  avg_turnaround_s : float;
+  avg_turnaround_from_arrival_s : float;
+  overhead_per_job_s : float;
+  total_overhead_s : float;
+  solves : int;
+  max_invocation_s : float;
+  makespan_ms : int;
+  map_busy_ms : int;  (* Σ exec over executed map tasks *)
+  reduce_busy_ms : int;
+  map_utilization : float option;
+  reduce_utilization : float option;
+}
+
+type job_progress = {
+  j : T.job;
+  mutable tasks_done : int;
+  mutable maps_done : int;
+  task_count : int;
+  map_count : int;
+}
+
+type state = {
+  driver : Driver.t;
+  validate : bool;
+  engine : Engine.t;
+  progress : (int, job_progress) Hashtbl.t; (* job_id -> progress *)
+  planned : (int, Engine.handle * Dispatch.t) Hashtbl.t; (* unstarted *)
+  started : (int, Dispatch.t) Hashtbl.t;
+  completed : (int, unit) Hashtbl.t;
+  slot_busy_until : (T.task_kind * int, int * int) Hashtbl.t;
+      (* (kind, slot) -> (occupant task, busy until) *)
+  mutable wake : (int * Engine.handle) option;
+  mutable outcomes : job_outcome list;
+  mutable map_busy_ms : int;
+  mutable reduce_busy_ms : int;
+}
+
+let fail fmt = Format.kasprintf failwith fmt
+
+let record_busy st (task : T.task) =
+  match task.T.kind with
+  | T.Map_task -> st.map_busy_ms <- st.map_busy_ms + task.T.exec_time
+  | T.Reduce_task -> st.reduce_busy_ms <- st.reduce_busy_ms + task.T.exec_time
+
+let check_start st (d : Dispatch.t) now =
+  let task = d.Dispatch.task in
+  if Hashtbl.mem st.started task.T.task_id then
+    fail "task %d started twice" task.T.task_id;
+  let jp =
+    match Hashtbl.find_opt st.progress task.T.job_id with
+    | Some jp -> jp
+    | None -> fail "task %d belongs to unknown job %d" task.T.task_id task.T.job_id
+  in
+  if now < jp.j.T.earliest_start then
+    fail "task %d of job %d started at %d before s_j=%d" task.T.task_id
+      task.T.job_id now jp.j.T.earliest_start;
+  (match task.T.kind with
+  | T.Reduce_task ->
+      if jp.maps_done < jp.map_count then
+        fail "reduce task %d of job %d started with %d/%d maps done"
+          task.T.task_id task.T.job_id jp.maps_done jp.map_count
+  | T.Map_task -> ());
+  let key = (task.T.kind, d.Dispatch.slot) in
+  (match Hashtbl.find_opt st.slot_busy_until key with
+  | Some (other, until) when until > now ->
+      fail "%s slot %d double-booked at %d: task %d overlaps task %d"
+        (T.task_kind_to_string task.T.kind)
+        d.Dispatch.slot now task.T.task_id other
+  | Some _ | None -> ());
+  Hashtbl.replace st.slot_busy_until key
+    (task.T.task_id, now + task.T.exec_time)
+
+let rec on_task_complete st (d : Dispatch.t) sim =
+  let now = Engine.now sim in
+  let task = d.Dispatch.task in
+  if st.validate then begin
+    if Hashtbl.mem st.completed task.T.task_id then
+      fail "task %d completed twice" task.T.task_id
+  end;
+  Hashtbl.replace st.completed task.T.task_id ();
+  let jp = Hashtbl.find st.progress task.T.job_id in
+  jp.tasks_done <- jp.tasks_done + 1;
+  if task.T.kind = T.Map_task then jp.maps_done <- jp.maps_done + 1;
+  if jp.tasks_done = jp.task_count then begin
+    let outcome =
+      {
+        job = jp.j;
+        completion = now;
+        late = now > jp.j.T.deadline;
+        turnaround_ms = now - jp.j.T.earliest_start;
+      }
+    in
+    st.outcomes <- outcome :: st.outcomes
+  end;
+  st.driver.Driver.task_completed ~now ~task_id:task.T.task_id;
+  react st sim
+
+and on_task_start st (d : Dispatch.t) sim =
+  let now = Engine.now sim in
+  Hashtbl.remove st.planned d.Dispatch.task.T.task_id;
+  if st.validate then check_start st d now;
+  record_busy st d.Dispatch.task;
+  Hashtbl.replace st.started d.Dispatch.task.T.task_id d;
+  ignore
+    (Engine.schedule_after ~rank:0 sim ~delay:d.Dispatch.task.T.exec_time
+       (on_task_complete st d))
+
+and launch_now st (d : Dispatch.t) sim =
+  (* immediate managers mark tasks running themselves; just execute *)
+  let now = Engine.now sim in
+  if d.Dispatch.start <> now then
+    fail "immediate dispatch of task %d at %d but now=%d"
+      d.Dispatch.task.T.task_id d.Dispatch.start now;
+  if st.validate then check_start st d now;
+  record_busy st d.Dispatch.task;
+  Hashtbl.replace st.started d.Dispatch.task.T.task_id d;
+  ignore
+    (Engine.schedule_after ~rank:0 sim ~delay:d.Dispatch.task.T.exec_time
+       (on_task_complete st d))
+
+and reconcile st plan sim =
+  let now = Engine.now sim in
+  let fresh = Hashtbl.create 64 in
+  List.iter
+    (fun (d : Dispatch.t) ->
+      Hashtbl.replace fresh d.Dispatch.task.T.task_id d)
+    plan;
+  (* drop or keep existing pending start events.  An event whose start time
+     is <= now is "in flight": it fires later within this same instant
+     (start events carry a later rank than arrivals), and the manager has
+     already classified its task as started/frozen, so it is legitimately
+     absent from the new plan — keep it. *)
+  let stale = ref [] in
+  Hashtbl.iter
+    (fun task_id ((handle, old_d) : Engine.handle * Dispatch.t) ->
+      if old_d.Dispatch.start > now then begin
+        match Hashtbl.find_opt fresh task_id with
+        | Some new_d when new_d = old_d -> Hashtbl.remove fresh task_id
+        | Some _ | None -> stale := (task_id, handle) :: !stale
+      end
+      else Hashtbl.remove fresh task_id)
+    st.planned;
+  List.iter
+    (fun (task_id, handle) ->
+      Engine.cancel sim handle;
+      Hashtbl.remove st.planned task_id)
+    !stale;
+  (* schedule the new or changed dispatches.  A manager whose plan is only
+     refreshed on re-solves may re-present dispatches for tasks that started
+     meanwhile: identical dispatches are stale-but-consistent and skipped;
+     a different dispatch for a started task is a real manager bug. *)
+  Hashtbl.iter
+    (fun task_id (d : Dispatch.t) ->
+      match Hashtbl.find_opt st.started task_id with
+      | Some d' when d' = d -> ()
+      | Some _ -> fail "plan re-schedules already-started task %d" task_id
+      | None ->
+      if d.Dispatch.start < now then
+        fail "plan schedules task %d at %d in the past (now=%d)" task_id
+          d.Dispatch.start now;
+      let handle =
+        Engine.schedule ~rank:2 sim ~at:d.Dispatch.start (on_task_start st d)
+      in
+      Hashtbl.replace st.planned task_id (handle, d))
+    fresh
+
+and update_wake st sim =
+  let now = Engine.now sim in
+  let desired = st.driver.Driver.next_wake ~now in
+  let desired = Option.map (fun w -> max w (now + 1)) desired in
+  match (st.wake, desired) with
+  | None, None -> ()
+  | Some (at, _), Some at' when at = at' -> ()
+  | prev, _ ->
+      (match prev with
+      | Some (_, handle) -> Engine.cancel sim handle
+      | None -> ());
+      st.wake <-
+        Option.map
+          (fun at ->
+            let handle =
+              Engine.schedule sim ~at (fun sim ->
+                  st.wake <- None;
+                  react st sim)
+            in
+            (at, handle))
+          desired
+
+and react st sim =
+  let now = Engine.now sim in
+  (match st.driver.Driver.react ~now with
+  | Driver.Full_plan plan -> reconcile st plan sim
+  | Driver.Launch ds -> List.iter (fun d -> launch_now st d sim) ds
+  | Driver.No_change -> ());
+  update_wake st sim
+
+let run ?(validate = false) ?cluster ~driver ~jobs () =
+  if jobs = [] then invalid_arg "Simulator.run: no jobs";
+  let engine = Engine.create () in
+  let st =
+    {
+      driver;
+      validate;
+      engine;
+      progress = Hashtbl.create 256;
+      planned = Hashtbl.create 256;
+      started = Hashtbl.create 1024;
+      completed = Hashtbl.create 1024;
+      slot_busy_until = Hashtbl.create 256;
+      wake = None;
+      outcomes = [];
+      map_busy_ms = 0;
+      reduce_busy_ms = 0;
+    }
+  in
+  List.iter
+    (fun (job : T.job) ->
+      Hashtbl.replace st.progress job.T.id
+        {
+          j = job;
+          tasks_done = 0;
+          maps_done = 0;
+          task_count = T.task_count job;
+          map_count = Array.length job.T.map_tasks;
+        };
+      ignore
+        (Engine.schedule engine ~at:job.T.arrival (fun sim ->
+             st.driver.Driver.submit ~now:(Engine.now sim) job;
+             react st sim)))
+    jobs;
+  Engine.run_until_empty engine;
+  let jobs_total = List.length jobs in
+  let done_total = List.length st.outcomes in
+  if done_total <> jobs_total then
+    fail "simulation ended with %d/%d jobs completed" done_total jobs_total;
+  let outcomes = List.rev st.outcomes in
+  let n_late = List.length (List.filter (fun o -> o.late) outcomes) in
+  let sum f = List.fold_left (fun acc o -> acc +. f o) 0. outcomes in
+  let nf = float_of_int jobs_total in
+  let total_overhead_s = driver.Driver.overhead_seconds () in
+  let makespan_ms =
+    List.fold_left (fun acc o -> max acc o.completion) 0 outcomes
+  in
+  let utilization cluster slots_of busy makespan =
+    match cluster with
+    | None -> None
+    | Some c ->
+        let slots = slots_of c in
+        if slots = 0 || makespan = 0 then None
+        else Some (float_of_int busy /. float_of_int (slots * makespan))
+  in
+  {
+    manager = driver.Driver.name;
+    outcomes;
+    jobs_total;
+    n_late;
+    p_late = float_of_int n_late /. nf;
+    avg_turnaround_s = sum (fun o -> float_of_int o.turnaround_ms /. 1000.) /. nf;
+    avg_turnaround_from_arrival_s =
+      sum (fun o -> float_of_int (o.completion - o.job.T.arrival) /. 1000.)
+      /. nf;
+    overhead_per_job_s = total_overhead_s /. nf;
+    total_overhead_s;
+    solves = driver.Driver.solve_count ();
+    max_invocation_s = driver.Driver.max_invocation_seconds ();
+    makespan_ms;
+    map_busy_ms = st.map_busy_ms;
+    reduce_busy_ms = st.reduce_busy_ms;
+    map_utilization =
+      utilization cluster T.total_map_slots st.map_busy_ms makespan_ms;
+    reduce_utilization =
+      utilization cluster T.total_reduce_slots st.reduce_busy_ms makespan_ms;
+  }
+
+let pp_results fmt r =
+  Format.fprintf fmt
+    "@[<v>%s: %d jobs, N=%d (P=%.2f%%), T=%.1fs, O=%.6fs/job (total %.3fs, \
+     %d solves), makespan=%.1fs@]"
+    r.manager r.jobs_total r.n_late (100. *. r.p_late) r.avg_turnaround_s
+    r.overhead_per_job_s r.total_overhead_s r.solves
+    (float_of_int r.makespan_ms /. 1000.)

@@ -1,0 +1,61 @@
+(** Open-system discrete event simulation (paper §VI).
+
+    A stream of jobs (with pre-generated Poisson arrival times) is fed to a
+    resource manager through a {!Driver.t}.  The simulator executes the
+    manager's dispatches on the virtual cluster: it fires task-start events
+    at planned times, task-completion events [exec_time] later, and manager
+    wake-ups (deferred-job releases, §V.E).  Completion of a job's last task
+    fixes the job's completion time CT_j.
+
+    Metrics produced per run (paper §VI):
+    - N: number of jobs that missed their deadline;
+    - P: N / total jobs;
+    - T: average turnaround, Σ (CT_j − s_j) / n, in seconds;
+    - O: average matchmaking-and-scheduling time per job, in seconds, from
+      the manager's real wall-clock overhead (the paper measures CPLEX the
+      same way). *)
+
+type job_outcome = {
+  job : Mapreduce.Types.job;
+  completion : int;  (** CT_j, ms *)
+  late : bool;  (** CT_j > d_j *)
+  turnaround_ms : int;  (** CT_j − s_j *)
+}
+
+type results = {
+  manager : string;
+  outcomes : job_outcome list;
+  jobs_total : int;
+  n_late : int;  (** the paper's N *)
+  p_late : float;  (** the paper's P, in [0,1] *)
+  avg_turnaround_s : float;  (** the paper's T, seconds *)
+  avg_turnaround_from_arrival_s : float;  (** Σ (CT_j − v_j)/n, for reference *)
+  overhead_per_job_s : float;  (** the paper's O, seconds *)
+  total_overhead_s : float;
+  solves : int;
+  max_invocation_s : float;
+      (** longest single scheduling pass (paper: "O was observed to be
+          0.57s" at small m) *)
+  makespan_ms : int;  (** completion of the last job *)
+  map_busy_ms : int;  (** Σ exec_time over executed map tasks *)
+  reduce_busy_ms : int;
+  map_utilization : float option;
+      (** busy slot-time / (map slots × makespan); requires [~cluster] *)
+  reduce_utilization : float option;
+}
+
+val run :
+  ?validate:bool ->
+  ?cluster:Mapreduce.Types.resource array ->
+  driver:Driver.t ->
+  jobs:Mapreduce.Types.job list ->
+  unit ->
+  results
+(** Simulate to completion of every job.  With [~validate:true] the simulator
+    additionally checks, as events execute, that no unit slot ever runs two
+    tasks at once, that reduces never start before the job's maps are all
+    done, and that no task starts before its job's s_j — an end-to-end oracle
+    over the whole manager + matchmaker + simulator pipeline.
+    @raise Failure on a validation violation. *)
+
+val pp_results : Format.formatter -> results -> unit

@@ -1,0 +1,1 @@
+lib/report/gantt.ml: Buffer Bytes List Mapreduce Option Printf Sched String

@@ -1,0 +1,1 @@
+lib/report/table.ml: Array Buffer Float Fun List Printf String

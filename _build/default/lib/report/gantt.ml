@@ -1,0 +1,72 @@
+module T = Mapreduce.Types
+module Dispatch = Sched.Dispatch
+
+let job_char job_id =
+  let digits = "0123456789abcdefghijklmnopqrstuvwxyz" in
+  digits.[job_id mod String.length digits]
+
+let render ?(width = 78) ?from_time ?until_time dispatches =
+  if dispatches = [] then "(empty plan)\n"
+  else begin
+    let lo =
+      Option.value from_time
+        ~default:
+          (List.fold_left
+             (fun acc (d : Dispatch.t) -> min acc d.Dispatch.start)
+             max_int dispatches)
+    in
+    let hi =
+      Option.value until_time
+        ~default:
+          (List.fold_left
+             (fun acc d -> max acc (Dispatch.finish d))
+             min_int dispatches)
+    in
+    let hi = max hi (lo + 1) in
+    let span = hi - lo in
+    let col_start time =
+      let c = (time - lo) * width / span in
+      min (max c 0) (width - 1)
+    in
+    let col_end time =
+      let c = (time - lo) * width / span in
+      min (max c 0) width
+    in
+    let buf = Buffer.create 1024 in
+    let slots kind =
+      dispatches
+      |> List.filter_map (fun (d : Dispatch.t) ->
+             if d.Dispatch.task.T.kind = kind then Some d.Dispatch.slot
+             else None)
+      |> List.sort_uniq compare
+    in
+    let draw kind label =
+      let slot_list = slots kind in
+      if slot_list <> [] then begin
+        Buffer.add_string buf label;
+        Buffer.add_char buf '\n';
+        List.iter
+          (fun slot ->
+            let line = Bytes.make width '.' in
+            List.iter
+              (fun (d : Dispatch.t) ->
+                if d.Dispatch.task.T.kind = kind && d.Dispatch.slot = slot
+                then begin
+                  let a = col_start d.Dispatch.start in
+                  let b = max (a + 1) (col_end (Dispatch.finish d)) in
+                  for i = a to min (b - 1) (width - 1) do
+                    Bytes.set line i (job_char d.Dispatch.task.T.job_id)
+                  done
+                end)
+              dispatches;
+            Buffer.add_string buf (Printf.sprintf "  slot %3d |%s|\n" slot (Bytes.to_string line)))
+          slot_list
+      end
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "time window [%d, %d) ms, one column ~ %d ms\n" lo hi
+         (max 1 (span / width)));
+    draw T.Map_task "map slots:";
+    draw T.Reduce_task "reduce slots:";
+    Buffer.contents buf
+  end

@@ -1,0 +1,14 @@
+(** ASCII Gantt charts of dispatch plans: one row per unit slot, time flowing
+    right, each task drawn as a run of its job-id digit.  Used by the examples
+    and handy when debugging manager decisions. *)
+
+val render :
+  ?width:int ->
+  ?from_time:int ->
+  ?until_time:int ->
+  Sched.Dispatch.t list ->
+  string
+(** [render dispatches] draws map slots then reduce slots.  [width] is the
+    number of character columns for the time axis (default 78).  The time
+    window defaults to the dispatches' span.  Empty input yields a note
+    instead of a chart. *)

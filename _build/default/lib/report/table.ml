@@ -1,0 +1,64 @@
+type cell = string
+
+let render ?title ~headers ~rows () =
+  let all = headers :: rows in
+  let cols = List.length headers in
+  List.iter
+    (fun row ->
+      if List.length row <> cols then
+        invalid_arg "Table.render: ragged rows")
+    rows;
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell ->
+         widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let pad i cell =
+    let n = widths.(i) - String.length cell in
+    cell ^ String.make (max 0 n) ' '
+  in
+  let emit_row row =
+    Buffer.add_string buf
+      (String.concat "  " (List.mapi pad row));
+    Buffer.add_char buf '\n'
+  in
+  emit_row headers;
+  Buffer.add_string buf
+    (String.concat "  "
+       (Array.to_list (Array.map (fun w -> String.make w '-') widths)));
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let csv_escape cell =
+  let needs =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if needs then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let csv ~headers ~rows =
+  let line row = String.concat "," (List.map csv_escape row) in
+  String.concat "\n" (line headers :: List.map line rows) ^ "\n"
+
+let write_file ~path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let fmt_pct ?(decimals = 2) x = Printf.sprintf "%.*f%%" decimals (100. *. x)
+
+let fmt_seconds x =
+  if x = 0. then "0s"
+  else if Float.abs x >= 0.1 then Printf.sprintf "%.2fs" x
+  else if Float.abs x >= 0.001 then Printf.sprintf "%.4fs" x
+  else Printf.sprintf "%.6fs" x

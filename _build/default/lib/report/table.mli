@@ -1,0 +1,20 @@
+(** ASCII tables and CSV emission for the experiment harness — every figure
+    and table of the paper is regenerated as one of these. *)
+
+type cell = string
+
+val render :
+  ?title:string -> headers:cell list -> rows:cell list list -> unit -> string
+(** Monospace table with a header rule; columns are sized to fit. *)
+
+val csv : headers:cell list -> rows:cell list list -> string
+(** RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines). *)
+
+val write_file : path:string -> string -> unit
+
+val fmt_float : ?decimals:int -> float -> cell
+val fmt_pct : ?decimals:int -> float -> cell
+(** [fmt_pct 0.0346] is ["3.46%"]. *)
+
+val fmt_seconds : float -> cell
+(** Adaptive precision: "0.57s", "0.0003s". *)

@@ -1,0 +1,1 @@
+lib/sched/dispatch.ml: Format Mapreduce

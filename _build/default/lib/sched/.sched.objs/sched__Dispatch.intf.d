@@ -1,0 +1,1 @@
+lib/sched/dispatch.mli: Format Mapreduce

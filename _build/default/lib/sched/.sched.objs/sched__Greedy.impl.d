@@ -1,0 +1,1 @@
+lib/sched/greedy.ml: Array Hashtbl Instance Mapreduce Profile Solution

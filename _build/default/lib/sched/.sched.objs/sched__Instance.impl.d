@@ -1,0 +1,1 @@
+lib/sched/instance.ml: Array Format List Mapreduce

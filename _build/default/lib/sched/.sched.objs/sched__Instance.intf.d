@@ -1,0 +1,1 @@
+lib/sched/instance.mli: Format Mapreduce

@@ -1,0 +1,1 @@
+lib/sched/profile.ml: Array List Option

@@ -1,0 +1,1 @@
+lib/sched/solution.ml: Array Format Hashtbl Instance List Mapreduce Profile

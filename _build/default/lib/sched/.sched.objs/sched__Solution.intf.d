@@ -1,0 +1,1 @@
+lib/sched/solution.mli: Format Hashtbl Instance

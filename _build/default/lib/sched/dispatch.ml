@@ -1,0 +1,17 @@
+type t = {
+  task : Mapreduce.Types.task;
+  resource_id : int;
+  slot : int;
+  start : int;
+}
+
+let finish d = d.start + d.task.Mapreduce.Types.exec_time
+
+let pp fmt d =
+  Format.fprintf fmt "dispatch<task=%d res=%d slot=%d [%d,%d)>"
+    d.task.Mapreduce.Types.task_id d.resource_id d.slot d.start (finish d)
+
+let compare_by_start a b =
+  let c = compare a.start b.start in
+  if c <> 0 then c
+  else compare a.task.Mapreduce.Types.task_id b.task.Mapreduce.Types.task_id

@@ -1,0 +1,61 @@
+(** A matchmaking-and-scheduling problem instance, as seen by a solver at one
+    MRCP-RM invocation (paper Table 2).
+
+    The instance is expressed against the *combined* resource of paper §V.D:
+    one virtual resource holding every map slot and every reduce slot of the
+    cluster.  Solvers produce start times on the combined resource; the
+    matchmaker (in [lib/core]) then distributes tasks over physical resources.
+
+    Tasks of a job are split into:
+    - [pending_*]: not started — the solver must (re)assign their start times;
+    - [fixed_*]: started but not completed (isPrevScheduled) — they occupy
+      capacity at a frozen [start, start+e) window and the solver must not
+      move them;
+    - completed tasks are not in the instance; their influence survives via
+      [frozen_lfmt] (precedence floor for reduces) and [frozen_completion]
+      (floor of the job's completion time, for lateness accounting). *)
+
+type fixed_task = { task : Mapreduce.Types.task; start : int }
+
+type pending_job = {
+  job : Mapreduce.Types.job;
+  est : int;  (** effective earliest start: max(s_j, now) per Table 2 l.1-4 *)
+  pending_maps : Mapreduce.Types.task array;
+  pending_reduces : Mapreduce.Types.task array;
+  fixed_maps : fixed_task array;
+  fixed_reduces : fixed_task array;
+  frozen_lfmt : int;
+      (** latest completion among completed+fixed map tasks; 0 if none *)
+  frozen_completion : int;
+      (** latest completion among all completed+fixed tasks; 0 if none *)
+}
+
+type t = {
+  now : int;
+  map_capacity : int;  (** total map slots of the cluster *)
+  reduce_capacity : int;  (** total reduce slots *)
+  jobs : pending_job array;
+}
+
+val of_fresh_jobs :
+  now:int ->
+  map_capacity:int ->
+  reduce_capacity:int ->
+  Mapreduce.Types.job list ->
+  t
+(** Instance where nothing has started yet (closed-system case / first
+    invocation): every task pending, est = max(s_j, now). *)
+
+val pending_task_count : t -> int
+val fixed_task_count : t -> int
+
+val job_lfmt_floor : pending_job -> int
+(** Lower bound for reduce starts before scheduling: [frozen_lfmt]. *)
+
+val pending_exec_total : pending_job -> int
+(** Σ e_t over pending tasks (for the laxity ordering). *)
+
+val laxity : pending_job -> int
+(** d_j - est - Σ pending e_t, the least-laxity-first key (§VI.B). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/simrand/dist.ml: Array Float Rng

@@ -1,0 +1,1 @@
+lib/simrand/rng.mli:

@@ -1,0 +1,74 @@
+let uniform g ~lo ~hi =
+  if hi < lo then invalid_arg "Dist.uniform: hi < lo";
+  lo +. Rng.float g (hi -. lo)
+
+let discrete_uniform g ~lo ~hi = Rng.int_incl g lo hi
+
+let bernoulli g ~p =
+  if p < 0. || p > 1. then invalid_arg "Dist.bernoulli: p outside [0,1]";
+  Rng.unit_float g < p
+
+let exponential g ~rate =
+  if rate <= 0. then invalid_arg "Dist.exponential: rate must be positive";
+  (* Inverse transform; 1 - u avoids log 0. *)
+  -.log (1. -. Rng.unit_float g) /. rate
+
+let normal g ~mu ~sigma =
+  if sigma < 0. then invalid_arg "Dist.normal: negative sigma";
+  let u1 = 1. -. Rng.unit_float g in
+  let u2 = Rng.unit_float g in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let lognormal g ~mu ~sigma2 =
+  if sigma2 < 0. then invalid_arg "Dist.lognormal: negative variance";
+  exp (normal g ~mu ~sigma:(sqrt sigma2))
+
+let lognormal_mean ~mu ~sigma2 = exp (mu +. (sigma2 /. 2.))
+
+let poisson g ~mean =
+  if mean < 0. then invalid_arg "Dist.poisson: negative mean";
+  if mean > 700. then
+    (* Normal approximation; exact Knuth would underflow exp(-mean). *)
+    let x = normal g ~mu:mean ~sigma:(sqrt mean) in
+    max 0 (int_of_float (Float.round x))
+  else begin
+    let limit = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. Rng.unit_float g in
+      if p <= limit then k else loop (k + 1) p
+    in
+    loop 0 1.
+  end
+
+type categorical = { cumulative : float array }
+
+let categorical ~weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Dist.categorical: no categories";
+  Array.iter
+    (fun w ->
+      if w < 0. || Float.is_nan w then
+        invalid_arg "Dist.categorical: negative weight")
+    weights;
+  let total = Array.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Dist.categorical: zero total weight";
+  let cumulative = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cumulative.(i) <- !acc
+  done;
+  cumulative.(n - 1) <- 1.;
+  { cumulative }
+
+let categorical_draw { cumulative } g =
+  let u = Rng.unit_float g in
+  (* First index whose cumulative weight exceeds u (binary search). *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if u < cumulative.(mid) then search lo mid else search (mid + 1) hi
+  in
+  search 0 (Array.length cumulative - 1)

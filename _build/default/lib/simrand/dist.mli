@@ -1,0 +1,46 @@
+(** The random distributions used by the paper's workload models (Table 3 and
+    the Table-4 Facebook workload): continuous and discrete uniform, Bernoulli,
+    exponential (for Poisson arrival processes), normal and lognormal.
+
+    All samplers take the generator explicitly so that callers control stream
+    assignment. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Continuous uniform on [lo, hi).  Requires [lo <= hi]. *)
+
+val discrete_uniform : Rng.t -> lo:int -> hi:int -> int
+(** Discrete uniform on the inclusive integer range [lo, hi] — the paper's
+    DU[lo, hi]. *)
+
+val bernoulli : Rng.t -> p:float -> bool
+(** [bernoulli g ~p] is [true] with probability [p].  Requires 0 <= p <= 1. *)
+
+val exponential : Rng.t -> rate:float -> float
+(** Exponential with rate [rate] (mean [1/rate]); inter-arrival times of a
+    Poisson process.  Requires [rate > 0]. *)
+
+val normal : Rng.t -> mu:float -> sigma:float -> float
+(** Gaussian via Box–Muller.  [sigma >= 0]. *)
+
+val lognormal : Rng.t -> mu:float -> sigma2:float -> float
+(** LogNormal(mu, sigma2) parameterized exactly as the paper's LN(μ, σ²): μ and
+    σ² are the mean and variance of the *underlying normal*, so the sample is
+    [exp (normal ~mu ~sigma:(sqrt sigma2))]. *)
+
+val lognormal_mean : mu:float -> sigma2:float -> float
+(** Analytic mean [exp (mu + sigma2/2)] — used by tests and by capacity
+    planning in the MinEDF-WC baseline. *)
+
+val poisson : Rng.t -> mean:float -> int
+(** A Poisson-distributed count with the given mean (Knuth for small means,
+    normal approximation above 700 to avoid underflow). *)
+
+type categorical
+(** Sampler over a fixed finite set of weighted categories. *)
+
+val categorical : weights:float array -> categorical
+(** [categorical ~weights] precomputes the cumulative table.  Weights must be
+    non-negative and sum to a positive value; they are normalized. *)
+
+val categorical_draw : categorical -> Rng.t -> int
+(** Index of the drawn category. *)

@@ -1,0 +1,44 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy g = { state = g.state }
+let split g = { state = mix64 (next_int64 g) }
+let state g = g.state
+let of_state s = { state = s }
+
+let bits g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2)
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over 62 random bits to avoid modulo bias. *)
+  let max_int62 = (1 lsl 62) - 1 in
+  let bucket = max_int62 / n in
+  let limit = bucket * n in
+  let rec draw () =
+    let v = bits g in
+    if v < limit then v / bucket else draw ()
+  in
+  draw ()
+
+let int_incl g lo hi =
+  if hi < lo then invalid_arg "Rng.int_incl: empty range";
+  lo + int g (hi - lo + 1)
+
+let unit_float g =
+  (* 53 random bits scaled into [0,1). *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 g) 11) in
+  float_of_int v *. 0x1p-53
+
+let float g x = unit_float g *. x
+let bool g = Int64.logand (next_int64 g) 1L = 1L

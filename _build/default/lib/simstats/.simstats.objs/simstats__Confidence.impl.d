@@ -1,0 +1,1 @@
+lib/simstats/confidence.ml: Array Float Format Welford

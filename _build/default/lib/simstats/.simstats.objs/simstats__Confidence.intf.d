@@ -1,0 +1,1 @@
+lib/simstats/confidence.mli: Format Welford

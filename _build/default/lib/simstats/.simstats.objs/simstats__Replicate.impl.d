@@ -1,0 +1,1 @@
+lib/simstats/replicate.ml: Array Confidence List Welford

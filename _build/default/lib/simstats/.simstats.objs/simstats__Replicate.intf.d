@@ -1,0 +1,1 @@
+lib/simstats/replicate.mli: Confidence

@@ -1,0 +1,1 @@
+lib/simstats/welford.ml: Float

@@ -1,0 +1,85 @@
+type interval = { mean : float; half_width : float; level : float; n : int }
+
+(* Two-sided critical values of the Student-t distribution.  Rows: degrees of
+   freedom 1..30; columns: confidence levels 0.90, 0.95, 0.99. *)
+let t_table =
+  [|
+    (6.314, 12.706, 63.657);
+    (2.920, 4.303, 9.925);
+    (2.353, 3.182, 5.841);
+    (2.132, 2.776, 4.604);
+    (2.015, 2.571, 4.032);
+    (1.943, 2.447, 3.707);
+    (1.895, 2.365, 3.499);
+    (1.860, 2.306, 3.355);
+    (1.833, 2.262, 3.250);
+    (1.812, 2.228, 3.169);
+    (1.796, 2.201, 3.106);
+    (1.782, 2.179, 3.055);
+    (1.771, 2.160, 3.012);
+    (1.761, 2.145, 2.977);
+    (1.753, 2.131, 2.947);
+    (1.746, 2.120, 2.921);
+    (1.740, 2.110, 2.898);
+    (1.734, 2.101, 2.878);
+    (1.729, 2.093, 2.861);
+    (1.725, 2.086, 2.845);
+    (1.721, 2.080, 2.831);
+    (1.717, 2.074, 2.819);
+    (1.714, 2.069, 2.807);
+    (1.711, 2.064, 2.797);
+    (1.708, 2.060, 2.787);
+    (1.706, 2.056, 2.779);
+    (1.703, 2.052, 2.771);
+    (1.701, 2.048, 2.763);
+    (1.699, 2.045, 2.756);
+    (1.697, 2.042, 2.750);
+  |]
+
+(* Large-df limits (standard normal quantiles). *)
+let z_values = (1.645, 1.960, 2.576)
+
+let pick (a, b, c) ~level =
+  if level <= 0.90 then a
+  else if level <= 0.95 then
+    (* linear interpolation between 0.90 and 0.95 *)
+    a +. ((b -. a) *. (level -. 0.90) /. 0.05)
+  else if level <= 0.99 then b +. ((c -. b) *. (level -. 0.95) /. 0.04)
+  else c
+
+let t_critical ~df ~level =
+  if df < 1 then invalid_arg "Confidence.t_critical: df must be >= 1";
+  if level <= 0. || level >= 1. then
+    invalid_arg "Confidence.t_critical: level must be in (0,1)";
+  if df <= 30 then pick t_table.(df - 1) ~level
+  else
+    (* Beyond the table, blend the df=30 row toward the normal limit. *)
+    let row30 = pick t_table.(29) ~level in
+    let z = pick z_values ~level in
+    if df >= 200 then z
+    else
+      let f = float_of_int (df - 30) /. 170. in
+      row30 +. ((z -. row30) *. f)
+
+let of_welford ?(level = 0.95) w =
+  let n = Welford.count w in
+  if n < 2 then invalid_arg "Confidence.of_welford: need at least 2 samples";
+  let mean = Welford.mean w in
+  let se = Welford.stddev w /. sqrt (float_of_int n) in
+  let t = t_critical ~df:(n - 1) ~level in
+  { mean; half_width = t *. se; level; n }
+
+let of_samples ?(level = 0.95) samples =
+  let w = Welford.create () in
+  Array.iter (Welford.add w) samples;
+  of_welford ~level w
+
+let relative_half_width ci =
+  if ci.mean = 0. then if ci.half_width = 0. then 0. else infinity
+  else ci.half_width /. Float.abs ci.mean
+
+let within_relative ci r = relative_half_width ci <= r
+
+let pp fmt ci =
+  Format.fprintf fmt "%.6g ± %.3g (%.0f%%, n=%d)" ci.mean ci.half_width
+    (100. *. ci.level) ci.n

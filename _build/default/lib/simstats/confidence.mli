@@ -1,0 +1,33 @@
+(** Student-t confidence intervals across simulation replications.
+
+    The paper runs each configuration until the 95% confidence interval of the
+    mean turnaround time is within ±1% of the mean; this module provides the
+    machinery to reproduce that stopping rule. *)
+
+type interval = {
+  mean : float;
+  half_width : float;  (** half-width of the CI around [mean] *)
+  level : float;  (** confidence level, e.g. 0.95 *)
+  n : int;  (** number of replications *)
+}
+
+val t_critical : df:int -> level:float -> float
+(** Two-sided Student-t critical value with [df] degrees of freedom.  Exact
+    table for small [df], normal-tail approximation beyond; supported levels
+    are interpolated from {0.90, 0.95, 0.99}. *)
+
+val of_samples : ?level:float -> float array -> interval
+(** CI of the mean of the samples.  Default level 0.95.  Requires at least two
+    samples. *)
+
+val of_welford : ?level:float -> Welford.t -> interval
+(** Same, from an accumulated summary. *)
+
+val relative_half_width : interval -> float
+(** [half_width /. |mean|]; [infinity] when the mean is 0. *)
+
+val within_relative : interval -> float -> bool
+(** [within_relative ci r] is true when the CI is within ±r of the mean, the
+    paper's ±1% criterion being [within_relative ci 0.01]. *)
+
+val pp : Format.formatter -> interval -> unit

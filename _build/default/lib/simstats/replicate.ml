@@ -1,0 +1,65 @@
+type 'a spec = {
+  run : seed:int -> 'a;
+  metrics : (string * ('a -> float)) list;
+}
+
+type summary = {
+  name : string;
+  samples : float array;
+  interval : Confidence.interval option;
+}
+
+type result = { replications : int; summaries : summary list }
+
+let run ?(level = 0.95) ?(target_relative = None) ?(min_reps = 3) ~max_reps
+    ~base_seed spec =
+  if max_reps < 1 then invalid_arg "Replicate.run: max_reps must be >= 1";
+  let buffers = List.map (fun (name, _) -> (name, ref [])) spec.metrics in
+  let record out =
+    List.iter2
+      (fun (_, extract) (_, buf) -> buf := extract out :: !buf)
+      spec.metrics buffers
+  in
+  let samples_of name =
+    let buf = List.assoc name buffers in
+    Array.of_list (List.rev !buf)
+  in
+  let reached_target n =
+    match target_relative with
+    | None -> false
+    | Some (metric, r) ->
+        n >= min_reps && n >= 2
+        &&
+        let ci = Confidence.of_samples ~level (samples_of metric) in
+        Confidence.within_relative ci r
+  in
+  let rec loop i =
+    if i >= max_reps then i
+    else begin
+      record (spec.run ~seed:(base_seed + i));
+      let n = i + 1 in
+      if reached_target n then n else loop n
+    end
+  in
+  let replications = loop 0 in
+  let summaries =
+    List.map
+      (fun (name, _) ->
+        let samples = samples_of name in
+        let interval =
+          if Array.length samples >= 2 then
+            Some (Confidence.of_samples ~level samples)
+          else None
+        in
+        { name; samples; interval })
+      spec.metrics
+  in
+  { replications; summaries }
+
+let summary result name = List.find (fun s -> s.name = name) result.summaries
+
+let mean result name =
+  let s = summary result name in
+  let w = Welford.create () in
+  Array.iter (Welford.add w) s.samples;
+  Welford.mean w

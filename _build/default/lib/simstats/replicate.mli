@@ -1,0 +1,36 @@
+(** Replication driver: run a seeded simulation several times and summarize
+    each metric across replications, optionally stopping early once a target
+    confidence-interval width is reached (the paper's ±1%-of-mean rule on
+    turnaround time). *)
+
+type 'a spec = {
+  run : seed:int -> 'a;  (** one replication *)
+  metrics : (string * ('a -> float)) list;  (** named metric extractors *)
+}
+
+type summary = {
+  name : string;
+  samples : float array;
+  interval : Confidence.interval option;
+      (** [None] when fewer than 2 replications ran *)
+}
+
+type result = { replications : int; summaries : summary list }
+
+val run :
+  ?level:float ->
+  ?target_relative:(string * float) option ->
+  ?min_reps:int ->
+  max_reps:int ->
+  base_seed:int ->
+  'a spec ->
+  result
+(** [run ~max_reps ~base_seed spec] executes up to [max_reps] replications with
+    seeds [base_seed], [base_seed+1], ....  If [target_relative] is
+    [Some (metric, r)], stops as soon as at least [min_reps] (default 3)
+    replications have run and the CI of [metric] is within ±r of its mean. *)
+
+val summary : result -> string -> summary
+(** Lookup by metric name.  @raise Not_found if absent. *)
+
+val mean : result -> string -> float

@@ -1,0 +1,26 @@
+(** Online mean/variance accumulation (Welford's algorithm).
+
+    Used for per-run metric accumulation (turnaround times, overheads) and for
+    across-replication summaries.  Numerically stable for long streams. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to having seen both streams
+    (Chan et al. parallel combination). *)
+
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance (n-1 denominator); [nan] when fewer than two
+    observations. *)
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val total : t -> float
+(** Sum of all observations. *)

@@ -1,0 +1,1 @@
+lib/workflow/dag.ml: Array Format Hashtbl List Mapreduce Result

@@ -1,0 +1,1 @@
+lib/workflow/solve.ml: Array Cp Dag Format Hashtbl List Mapreduce Option Sched

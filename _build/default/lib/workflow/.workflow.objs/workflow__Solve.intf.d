@@ -1,0 +1,1 @@
+lib/workflow/solve.mli: Cp Dag Hashtbl

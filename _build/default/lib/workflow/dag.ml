@@ -1,0 +1,152 @@
+module T = Mapreduce.Types
+
+type stage = { stage_id : int; pool : T.task_kind; tasks : T.task array }
+
+type t = {
+  id : int;
+  earliest_start : int;
+  deadline : int;
+  stages : stage array;
+  precedences : (int * int) list;
+}
+
+let stage w id =
+  match Array.find_opt (fun s -> s.stage_id = id) w.stages with
+  | Some s -> s
+  | None -> raise Not_found
+
+let predecessors w id =
+  List.filter_map (fun (a, b) -> if b = id then Some a else None) w.precedences
+
+let successors w id =
+  List.filter_map (fun (a, b) -> if a = id then Some b else None) w.precedences
+
+(* Kahn's algorithm; returns None on a cycle. *)
+let topo_opt w =
+  let ids = Array.map (fun s -> s.stage_id) w.stages in
+  let in_degree = Hashtbl.create 16 in
+  Array.iter (fun id -> Hashtbl.replace in_degree id 0) ids;
+  List.iter
+    (fun (_, b) ->
+      Hashtbl.replace in_degree b (Hashtbl.find in_degree b + 1))
+    w.precedences;
+  let ready =
+    Array.to_list ids |> List.filter (fun id -> Hashtbl.find in_degree id = 0)
+  in
+  let order = ref [] in
+  let rec drain = function
+    | [] -> ()
+    | id :: rest ->
+        order := id :: !order;
+        let next =
+          List.fold_left
+            (fun acc succ ->
+              let d = Hashtbl.find in_degree succ - 1 in
+              Hashtbl.replace in_degree succ d;
+              if d = 0 then succ :: acc else acc)
+            rest (successors w id)
+        in
+        drain next
+  in
+  drain ready;
+  if List.length !order = Array.length ids then
+    Some (Array.of_list (List.rev !order))
+  else None
+
+let validate w =
+  let ( let* ) r f = Result.bind r f in
+  let check cond msg = if cond then Ok () else Error msg in
+  let* () = check (Array.length w.stages > 0) "workflow has no stages" in
+  let ids = Array.map (fun s -> s.stage_id) w.stages in
+  let sorted = Array.copy ids in
+  Array.sort compare sorted;
+  let dup = ref false in
+  Array.iteri
+    (fun i id -> if i > 0 && sorted.(i - 1) = id then dup := true)
+    sorted;
+  let* () = check (not !dup) "duplicate stage ids" in
+  let exists id = Array.exists (( = ) id) ids in
+  let* () =
+    check
+      (List.for_all (fun (a, b) -> exists a && exists b) w.precedences)
+      "precedence references unknown stage"
+  in
+  let* () =
+    check
+      (List.for_all (fun (a, b) -> a <> b) w.precedences)
+      "self-precedence"
+  in
+  let* () =
+    check (w.deadline >= w.earliest_start) "deadline before earliest start"
+  in
+  let* () =
+    check
+      (Array.for_all
+         (fun s ->
+           Array.for_all
+             (fun (t : T.task) -> t.T.exec_time >= 0 && t.T.capacity_req > 0)
+             s.tasks)
+         w.stages)
+      "task with negative time or non-positive capacity requirement"
+  in
+  check (topo_opt w <> None) "precedence cycle"
+
+let topological_order w =
+  match topo_opt w with
+  | Some order -> order
+  | None -> invalid_arg "Dag.topological_order: cycle"
+
+let all_tasks w =
+  Array.to_list w.stages |> List.concat_map (fun s -> Array.to_list s.tasks)
+
+let stage_span s =
+  Array.fold_left (fun acc (t : T.task) -> max acc t.T.exec_time) 0 s.tasks
+
+let critical_path w =
+  let order = topological_order w in
+  let finish = Hashtbl.create 16 in
+  Array.iter
+    (fun id ->
+      let preds = predecessors w id in
+      let start =
+        List.fold_left (fun acc p -> max acc (Hashtbl.find finish p)) 0 preds
+      in
+      Hashtbl.replace finish id (start + stage_span (stage w id)))
+    order;
+  Hashtbl.fold (fun _ f acc -> max acc f) finish 0
+
+let of_mapreduce_job (job : T.job) =
+  let stages =
+    List.filter_map
+      (fun (pool, tasks) ->
+        if Array.length tasks = 0 then None else Some (pool, tasks))
+      [ (T.Map_task, job.T.map_tasks); (T.Reduce_task, job.T.reduce_tasks) ]
+  in
+  let stages =
+    List.mapi (fun i (pool, tasks) -> { stage_id = i; pool; tasks }) stages
+  in
+  {
+    id = job.T.id;
+    earliest_start = job.T.earliest_start;
+    deadline = job.T.deadline;
+    stages = Array.of_list stages;
+    precedences = (if List.length stages = 2 then [ (0, 1) ] else []);
+  }
+
+let chain ~id ~earliest_start ~deadline ~stages =
+  let stages =
+    List.mapi (fun i (pool, tasks) -> { stage_id = i; pool; tasks }) stages
+  in
+  let n = List.length stages in
+  {
+    id;
+    earliest_start;
+    deadline;
+    stages = Array.of_list stages;
+    precedences = List.init (max 0 (n - 1)) (fun i -> (i, i + 1));
+  }
+
+let pp fmt w =
+  Format.fprintf fmt "workflow<%d s=%d d=%d stages=%d edges=%d>" w.id
+    w.earliest_start w.deadline (Array.length w.stages)
+    (List.length w.precedences)

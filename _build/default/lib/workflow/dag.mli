@@ -1,0 +1,63 @@
+(** Generalized multi-stage workflows with user-specified precedence — the
+    extension the paper's §VII names as future work ("handling more complex
+    workflows with user-specified precedence relationships").
+
+    A workflow job is a DAG of {e stages}.  Each stage owns a set of tasks
+    that may run in parallel (subject to slot capacity) and draws its slots
+    from one of the two pools of the paper's system model (map slots or
+    reduce slots).  A stage may start only when {e all} tasks of {e all} its
+    predecessor stages have completed — the same AND-semantics as the
+    map→reduce barrier, applied to an arbitrary DAG.
+
+    A classic MapReduce job is the special case of a two-stage chain
+    ({!of_mapreduce_job}). *)
+
+type stage = {
+  stage_id : int;  (** unique within the workflow *)
+  pool : Mapreduce.Types.task_kind;  (** which slot pool the tasks occupy *)
+  tasks : Mapreduce.Types.task array;
+}
+
+type t = {
+  id : int;
+  earliest_start : int;  (** s_j *)
+  deadline : int;  (** d_j *)
+  stages : stage array;
+  precedences : (int * int) list;
+      (** (a, b): stage [b] starts after stage [a] completes *)
+}
+
+val validate : t -> (unit, string) result
+(** Unique stage ids, precedence endpoints exist, no self-edges, acyclic,
+    at least one stage, non-negative task times. *)
+
+val topological_order : t -> int array
+(** Stage ids in dependency order.  @raise Invalid_argument on a cycle (use
+    {!validate} first for a [result]). *)
+
+val predecessors : t -> int -> int list
+(** Stage ids that must complete before the given stage starts. *)
+
+val stage : t -> int -> stage
+(** Lookup by id.  @raise Not_found. *)
+
+val all_tasks : t -> Mapreduce.Types.task list
+
+val critical_path : t -> int
+(** Lower bound on the workflow's makespan with unlimited slots: the longest
+    est-to-sink chain of per-stage spans, where a stage's span is its longest
+    task. *)
+
+val of_mapreduce_job : Mapreduce.Types.job -> t
+(** Two-stage chain (maps → reduces); single-stage if the job has no reduce
+    tasks (or no map tasks). *)
+
+val chain :
+  id:int ->
+  earliest_start:int ->
+  deadline:int ->
+  stages:(Mapreduce.Types.task_kind * Mapreduce.Types.task array) list ->
+  t
+(** Convenience constructor for a linear pipeline. *)
+
+val pp : Format.formatter -> t -> unit

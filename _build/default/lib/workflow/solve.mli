@@ -1,0 +1,47 @@
+(** Matchmaking and scheduling for DAG workflows: the Table-1 CP model
+    generalized from the fixed map→reduce barrier to arbitrary stage
+    precedence, solved with the same machinery (greedy seed, per-job lower
+    bound, exact branch-and-bound via {!Cp.Search.run_problem}).
+
+    This is a closed-batch solver (the §VII future-work scenario); the
+    open-system manager remains MapReduce-specific. *)
+
+type instance = {
+  map_capacity : int;  (** pool capacity for [Map_task]-pool stages *)
+  reduce_capacity : int;  (** pool capacity for [Reduce_task]-pool stages *)
+  jobs : Dag.t array;
+}
+
+type solution = {
+  starts : (int, int) Hashtbl.t;  (** task_id → start *)
+  late_jobs : int;
+  total_tardiness : int;
+}
+
+val evaluate : instance -> (int, int) Hashtbl.t -> solution
+(** Objective values from a start map (all tasks must be present). *)
+
+val greedy : instance -> solution
+(** EDF-ordered serial schedule generation: per job, stages in topological
+    order, each stage's tasks placed longest-first at their earliest
+    capacity-feasible time after all predecessor stages complete.  Always
+    feasible. *)
+
+val lower_bound : instance -> int
+(** Jobs late in every schedule: est + critical path already misses d_j. *)
+
+val feasibility_errors : instance -> solution -> string list
+(** Constraint oracle: completeness, earliest start times, stage precedence,
+    pool capacities, and objective accounting. *)
+
+type stats = {
+  seed_late : int;
+  lower_bound : int;
+  proved_optimal : bool;
+  nodes : int;
+  failures : int;
+}
+
+val solve : ?limits:Cp.Search.limits -> instance -> solution * stats
+(** Greedy seed, then exact branch-and-bound when the seed does not meet the
+    lower bound.  Never fails; at worst returns the seed. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Hashtbl List Mapreduce Mrcp Sched

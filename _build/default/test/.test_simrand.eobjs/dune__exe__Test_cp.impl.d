@@ -1,0 +1,1 @@
+test/test_cp.ml: Alcotest Array Cp Format Fun Hashtbl List Mapreduce QCheck QCheck_alcotest Sched String

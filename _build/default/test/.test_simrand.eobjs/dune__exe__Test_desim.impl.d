@@ -1,0 +1,1 @@
+test/test_desim.ml: Alcotest Desim List Option QCheck QCheck_alcotest Simrand

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Cp Float Fun List Lp Mapreduce QCheck QCheck_alcotest Sched Simrand

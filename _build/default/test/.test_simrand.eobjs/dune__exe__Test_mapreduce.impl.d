@@ -1,0 +1,1 @@
+test/test_mapreduce.ml: Alcotest Array Filename Float List Mapreduce QCheck QCheck_alcotest Result Simrand Sys

@@ -1,0 +1,1 @@
+test/test_opensim.ml: Alcotest Array Baselines Cp Float List Mapreduce Mrcp Opensim QCheck QCheck_alcotest Sched

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Hashtbl List Mapreduce QCheck QCheck_alcotest Sched String

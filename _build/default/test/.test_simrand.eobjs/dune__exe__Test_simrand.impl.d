@@ -1,0 +1,1 @@
+test/test_simrand.ml: Alcotest Array Float List QCheck QCheck_alcotest Simrand

@@ -1,0 +1,1 @@
+test/test_simstats.ml: Alcotest Float Fun List QCheck QCheck_alcotest Simstats

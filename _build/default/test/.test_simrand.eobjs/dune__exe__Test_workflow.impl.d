@@ -1,0 +1,1 @@
+test/test_workflow.ml: Alcotest Array Cp Hashtbl List Mapreduce Printf QCheck QCheck_alcotest Result Sched Simrand String Workflow

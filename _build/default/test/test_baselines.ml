@@ -1,0 +1,216 @@
+(* Tests for the slot schedulers, especially MinEDF-WC's minimum-allocation
+   model and the allocate/work-conserve/de-allocate behaviour. *)
+
+module T = Mapreduce.Types
+module SS = Baselines.Slot_scheduler
+
+let counter = ref 0
+
+let mk_job ~id ?(arrival = 0) ?(est = 0) ~deadline ~maps ~reduces () =
+  let fresh kind e =
+    incr counter;
+    { T.task_id = !counter; job_id = id; kind; exec_time = e; capacity_req = 1 }
+  in
+  {
+    T.id;
+    arrival;
+    earliest_start = max est arrival;
+    deadline;
+    map_tasks = Array.of_list (List.map (fresh T.Map_task) maps);
+    reduce_tasks = Array.of_list (List.map (fresh T.Reduce_task) reduces);
+  }
+
+let cluster ?(m = 2) ?(mc = 1) ?(rc = 1) () =
+  T.uniform_cluster ~m ~map_capacity:mc ~reduce_capacity:rc
+
+(* --- min_allocation model ------------------------------------------------ *)
+
+let min_alloc = SS.min_allocation
+
+let test_min_alloc_single_phase () =
+  (* 4 map tasks of 10 each (work 40, longest 10), budget 50:
+     s=1: 30/1+10=40 <= 50 -> (1,0) *)
+  Alcotest.(check (option (pair int int)))
+    "one slot suffices"
+    (Some (1, 0))
+    (min_alloc ~map_work:40 ~map_longest:10 ~map_tasks:4 ~reduce_work:0
+       ~reduce_longest:0 ~reduce_tasks:0 ~budget:50 ~map_slots_max:8
+       ~reduce_slots_max:8)
+
+let test_min_alloc_needs_parallelism () =
+  (* budget 25: need (40-10)/s + 10 <= 25 -> s >= 2 *)
+  Alcotest.(check (option (pair int int)))
+    "two slots"
+    (Some (2, 0))
+    (min_alloc ~map_work:40 ~map_longest:10 ~map_tasks:4 ~reduce_work:0
+       ~reduce_longest:0 ~reduce_tasks:0 ~budget:25 ~map_slots_max:8
+       ~reduce_slots_max:8)
+
+let test_min_alloc_both_phases () =
+  (* maps: work 30 longest 10; reduces: work 20 longest 10; budget 40.
+     sm=1: mt=30; remaining 10 -> reduce needs (20-10)/(10-10) -> infeasible;
+     sm=2: mt=20; remaining 20 -> sr = ceil(10/10)=1: total slots 3.
+     sm=3: mt=(20)/3+10=17; remaining 23 -> sr=1: 4 slots. best (2,1). *)
+  Alcotest.(check (option (pair int int)))
+    "minimal total"
+    (Some (2, 1))
+    (min_alloc ~map_work:30 ~map_longest:10 ~map_tasks:3 ~reduce_work:20
+       ~reduce_longest:10 ~reduce_tasks:2 ~budget:40 ~map_slots_max:8
+       ~reduce_slots_max:8)
+
+let test_min_alloc_impossible () =
+  (* longest map alone exceeds the budget *)
+  Alcotest.(check (option (pair int int)))
+    "hopeless" None
+    (min_alloc ~map_work:100 ~map_longest:100 ~map_tasks:1 ~reduce_work:0
+       ~reduce_longest:0 ~reduce_tasks:0 ~budget:50 ~map_slots_max:8
+       ~reduce_slots_max:8);
+  Alcotest.(check (option (pair int int)))
+    "negative budget" None
+    (min_alloc ~map_work:10 ~map_longest:10 ~map_tasks:1 ~reduce_work:0
+       ~reduce_longest:0 ~reduce_tasks:0 ~budget:0 ~map_slots_max:8
+       ~reduce_slots_max:8)
+
+let test_min_alloc_capped_by_task_count () =
+  (* 2 tasks cannot use more than 2 slots: phase time floor is longest *)
+  Alcotest.(check (option (pair int int)))
+    "capped" None
+    (min_alloc ~map_work:20 ~map_longest:10 ~map_tasks:2 ~reduce_work:0
+       ~reduce_longest:0 ~reduce_tasks:0 ~budget:9 ~map_slots_max:8
+       ~reduce_slots_max:8)
+
+let test_min_alloc_map_only_and_reduce_only () =
+  Alcotest.(check (option (pair int int)))
+    "reduce-only job"
+    (Some (0, 1))
+    (min_alloc ~map_work:0 ~map_longest:0 ~map_tasks:0 ~reduce_work:10
+       ~reduce_longest:10 ~reduce_tasks:1 ~budget:15 ~map_slots_max:8
+       ~reduce_slots_max:8)
+
+(* --- scheduler behaviour -------------------------------------------------- *)
+
+let test_dispatch_basic () =
+  let s = SS.create ~cluster:(cluster ()) ~policy:SS.Min_edf_wc in
+  SS.submit s ~now:0 (mk_job ~id:0 ~deadline:100_000 ~maps:[ 10; 10 ] ~reduces:[] ());
+  let ds = SS.dispatches s ~now:0 in
+  Alcotest.(check int) "both maps launch on 2 slots" 2 (List.length ds);
+  List.iter
+    (fun (d : Sched.Dispatch.t) ->
+      Alcotest.(check int) "starts now" 0 d.Sched.Dispatch.start)
+    ds;
+  Alcotest.(check int) "idempotent" 0 (List.length (SS.dispatches s ~now:0))
+
+let test_reduce_waits_for_maps () =
+  let s = SS.create ~cluster:(cluster ()) ~policy:SS.Min_edf_wc in
+  let j = mk_job ~id:0 ~deadline:100_000 ~maps:[ 10 ] ~reduces:[ 10 ] () in
+  SS.submit s ~now:0 j;
+  let ds = SS.dispatches s ~now:0 in
+  Alcotest.(check int) "only the map" 1 (List.length ds);
+  let map_task = (List.hd ds).Sched.Dispatch.task in
+  Alcotest.(check bool) "it is the map" true (map_task.T.kind = T.Map_task);
+  SS.task_completed s ~now:10 ~task_id:map_task.T.task_id;
+  let ds = SS.dispatches s ~now:10 in
+  Alcotest.(check int) "now the reduce" 1 (List.length ds);
+  Alcotest.(check bool) "reduce kind" true
+    ((List.hd ds).Sched.Dispatch.task.T.kind = T.Reduce_task)
+
+let test_est_holds_job () =
+  let s = SS.create ~cluster:(cluster ()) ~policy:SS.Min_edf_wc in
+  SS.submit s ~now:0 (mk_job ~id:0 ~est:500 ~deadline:100_000 ~maps:[ 10 ] ~reduces:[] ());
+  Alcotest.(check int) "held" 0 (List.length (SS.dispatches s ~now:0));
+  Alcotest.(check (option int)) "wake at est" (Some 500) (SS.next_wake s);
+  Alcotest.(check int) "released at est" 1 (List.length (SS.dispatches s ~now:500))
+
+let test_edf_priority_on_scarce_slots () =
+  let s = SS.create ~cluster:(cluster ~m:1 ()) ~policy:SS.Edf_wc in
+  SS.submit s ~now:0 (mk_job ~id:0 ~deadline:900_000 ~maps:[ 100 ] ~reduces:[] ());
+  SS.submit s ~now:0 (mk_job ~id:1 ~deadline:50_000 ~maps:[ 100 ] ~reduces:[] ());
+  let ds = SS.dispatches s ~now:0 in
+  Alcotest.(check int) "one slot, one task" 1 (List.length ds);
+  Alcotest.(check int) "tight deadline first" 1
+    (List.hd ds).Sched.Dispatch.task.T.job_id
+
+let test_fcfs_priority () =
+  let s = SS.create ~cluster:(cluster ~m:1 ()) ~policy:SS.Fcfs_wc in
+  SS.submit s ~now:0 (mk_job ~id:0 ~arrival:0 ~deadline:900_000 ~maps:[ 100 ] ~reduces:[] ());
+  SS.submit s ~now:0 (mk_job ~id:1 ~arrival:0 ~deadline:50_000 ~maps:[ 100 ] ~reduces:[] ());
+  let ds = SS.dispatches s ~now:0 in
+  Alcotest.(check int) "first arrival first" 0
+    (List.hd ds).Sched.Dispatch.task.T.job_id
+
+let test_work_conserving_spare_slots () =
+  (* Min_edf_wc: a job with a huge deadline needs 1 slot minimum, but all 4
+     free slots should still be used (work conservation) *)
+  let s = SS.create ~cluster:(cluster ~m:4 ()) ~policy:SS.Min_edf_wc in
+  SS.submit s ~now:0
+    (mk_job ~id:0 ~deadline:10_000_000 ~maps:[ 10; 10; 10; 10 ] ~reduces:[] ());
+  let ds = SS.dispatches s ~now:0 in
+  Alcotest.(check int) "all four slots busy" 4 (List.length ds)
+
+let test_deallocation_on_needier_arrival () =
+  (* job 0 (loose deadline) holds both slots; when tight job 1 arrives, the
+     next freed slot must go to job 1, not back to job 0 *)
+  let s = SS.create ~cluster:(cluster ~m:2 ()) ~policy:SS.Min_edf_wc in
+  SS.submit s ~now:0
+    (mk_job ~id:0 ~deadline:10_000_000 ~maps:[ 100; 100; 100; 100 ] ~reduces:[] ());
+  let first = SS.dispatches s ~now:0 in
+  Alcotest.(check int) "job 0 takes both" 2 (List.length first);
+  SS.submit s ~now:50 (mk_job ~id:1 ~deadline:500 ~maps:[ 100 ] ~reduces:[] ());
+  Alcotest.(check int) "nothing free yet" 0 (List.length (SS.dispatches s ~now:50));
+  (* a task of job 0 finishes: the slot must be re-allocated to job 1 *)
+  SS.task_completed s ~now:100 ~task_id:(List.hd first).Sched.Dispatch.task.T.task_id;
+  let ds = SS.dispatches s ~now:100 in
+  Alcotest.(check int) "one dispatch" 1 (List.length ds);
+  Alcotest.(check int) "slot goes to the tight job" 1
+    (List.hd ds).Sched.Dispatch.task.T.job_id
+
+let test_unknown_completion_rejected () =
+  let s = SS.create ~cluster:(cluster ()) ~policy:SS.Min_edf_wc in
+  Alcotest.(check bool) "invalid arg" true
+    (try
+       SS.task_completed s ~now:0 ~task_id:999;
+       false
+     with Invalid_argument _ -> true)
+
+let test_job_retires_after_last_task () =
+  let s = SS.create ~cluster:(cluster ()) ~policy:SS.Min_edf_wc in
+  SS.submit s ~now:0 (mk_job ~id:0 ~deadline:100_000 ~maps:[ 10 ] ~reduces:[] ());
+  Alcotest.(check int) "active" 1 (SS.active_jobs s);
+  let ds = SS.dispatches s ~now:0 in
+  SS.task_completed s ~now:10
+    ~task_id:(List.hd ds).Sched.Dispatch.task.T.task_id;
+  Alcotest.(check int) "retired" 0 (SS.active_jobs s)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "min-allocation",
+        [
+          Alcotest.test_case "single phase" `Quick test_min_alloc_single_phase;
+          Alcotest.test_case "needs parallelism" `Quick
+            test_min_alloc_needs_parallelism;
+          Alcotest.test_case "both phases" `Quick test_min_alloc_both_phases;
+          Alcotest.test_case "impossible" `Quick test_min_alloc_impossible;
+          Alcotest.test_case "capped by tasks" `Quick
+            test_min_alloc_capped_by_task_count;
+          Alcotest.test_case "single-phase jobs" `Quick
+            test_min_alloc_map_only_and_reduce_only;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "dispatch basic" `Quick test_dispatch_basic;
+          Alcotest.test_case "reduce waits" `Quick test_reduce_waits_for_maps;
+          Alcotest.test_case "est holds" `Quick test_est_holds_job;
+          Alcotest.test_case "edf priority" `Quick
+            test_edf_priority_on_scarce_slots;
+          Alcotest.test_case "fcfs priority" `Quick test_fcfs_priority;
+          Alcotest.test_case "work conserving" `Quick
+            test_work_conserving_spare_slots;
+          Alcotest.test_case "de-allocation" `Quick
+            test_deallocation_on_needier_arrival;
+          Alcotest.test_case "unknown completion" `Quick
+            test_unknown_completion_rejected;
+          Alcotest.test_case "job retires" `Quick
+            test_job_retires_after_last_task;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Tests for the event heap and the discrete event engine: ordering, FIFO
+   tie-breaking, cancellation, horizons, and a small M/M/1-style smoke
+   simulation. *)
+
+let test_heap_ordering () =
+  let h = Desim.Heap.create () in
+  List.iter (fun k -> Desim.Heap.push h ~key:k k) [ 5; 1; 4; 1; 3; 9; 2 ];
+  let drained = ref [] in
+  let rec drain () =
+    match Desim.Heap.pop h with
+    | None -> ()
+    | Some (k, _) ->
+        drained := k :: !drained;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ascending" [ 1; 1; 2; 3; 4; 5; 9 ]
+    (List.rev !drained)
+
+let test_heap_fifo_ties () =
+  let h = Desim.Heap.create () in
+  List.iter (fun v -> Desim.Heap.push h ~key:7 v) [ "a"; "b"; "c" ];
+  let pop () = snd (Option.get (Desim.Heap.pop h)) in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "insertion order on ties" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_heap_peek () =
+  let h = Desim.Heap.create () in
+  Alcotest.(check bool) "empty peek" true (Desim.Heap.peek h = None);
+  Desim.Heap.push h ~key:3 "x";
+  Desim.Heap.push h ~key:1 "y";
+  Alcotest.(check bool) "peek smallest" true (Desim.Heap.peek h = Some (1, "y"));
+  Alcotest.(check int) "length" 2 (Desim.Heap.length h)
+
+let test_heap_to_sorted_list_nondestructive () =
+  let h = Desim.Heap.create () in
+  List.iter (fun k -> Desim.Heap.push h ~key:k k) [ 3; 1; 2 ];
+  let l = Desim.Heap.to_sorted_list h in
+  Alcotest.(check int) "still 3 elements" 3 (Desim.Heap.length h);
+  Alcotest.(check (list int)) "sorted keys" [ 1; 2; 3 ] (List.map fst l)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~count:300 ~name:"heap drains in sorted order"
+    QCheck.(list (int_range 0 10_000))
+    (fun keys ->
+      let h = Desim.Heap.create () in
+      List.iter (fun k -> Desim.Heap.push h ~key:k ()) keys;
+      let rec drain acc =
+        match Desim.Heap.pop h with
+        | None -> List.rev acc
+        | Some (k, ()) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+(* --- engine ----------------------------------------------------------- *)
+
+let test_engine_executes_in_order () =
+  let sim = Desim.Engine.create () in
+  let log = ref [] in
+  let note tag sim = log := (tag, Desim.Engine.now sim) :: !log in
+  ignore (Desim.Engine.schedule sim ~at:30 (note "c"));
+  ignore (Desim.Engine.schedule sim ~at:10 (note "a"));
+  ignore (Desim.Engine.schedule sim ~at:20 (note "b"));
+  Desim.Engine.run_until_empty sim;
+  Alcotest.(check (list (pair string int)))
+    "order and clocks"
+    [ ("a", 10); ("b", 20); ("c", 30) ]
+    (List.rev !log);
+  Alcotest.(check int) "clock at last event" 30 (Desim.Engine.now sim)
+
+let test_engine_same_time_fifo () =
+  let sim = Desim.Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag ->
+      ignore
+        (Desim.Engine.schedule sim ~at:5 (fun _ -> log := tag :: !log)))
+    [ "first"; "second"; "third" ];
+  Desim.Engine.run_until_empty sim;
+  Alcotest.(check (list string)) "fifo" [ "first"; "second"; "third" ]
+    (List.rev !log)
+
+let test_engine_handler_schedules_more () =
+  let sim = Desim.Engine.create () in
+  let hits = ref 0 in
+  let rec ping sim =
+    incr hits;
+    if !hits < 5 then ignore (Desim.Engine.schedule_after sim ~delay:10 ping)
+  in
+  ignore (Desim.Engine.schedule sim ~at:0 ping);
+  Desim.Engine.run_until_empty sim;
+  Alcotest.(check int) "five pings" 5 !hits;
+  Alcotest.(check int) "clock 40" 40 (Desim.Engine.now sim)
+
+let test_engine_cancel () =
+  let sim = Desim.Engine.create () in
+  let fired = ref false in
+  let h = Desim.Engine.schedule sim ~at:10 (fun _ -> fired := true) in
+  Alcotest.(check int) "one pending" 1 (Desim.Engine.pending sim);
+  Desim.Engine.cancel sim h;
+  Alcotest.(check int) "none pending" 0 (Desim.Engine.pending sim);
+  Desim.Engine.run_until_empty sim;
+  Alcotest.(check bool) "never fired" false !fired;
+  (* double-cancel is a no-op *)
+  Desim.Engine.cancel sim h;
+  Alcotest.(check int) "still none" 0 (Desim.Engine.pending sim)
+
+let test_engine_no_past_scheduling () =
+  let sim = Desim.Engine.create ~start_time:100 () in
+  Alcotest.check_raises "past rejected"
+    (Invalid_argument "Engine.schedule: at=50 is before now=100") (fun () ->
+      ignore (Desim.Engine.schedule sim ~at:50 (fun _ -> ())))
+
+let test_engine_run_until_horizon () =
+  let sim = Desim.Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun t ->
+      ignore (Desim.Engine.schedule sim ~at:t (fun _ -> log := t :: !log)))
+    [ 10; 20; 30; 40 ];
+  Desim.Engine.run ~until:25 sim;
+  Alcotest.(check (list int)) "only <= 25 fired" [ 10; 20 ] (List.rev !log);
+  Alcotest.(check int) "clock parked at horizon" 25 (Desim.Engine.now sim);
+  Alcotest.(check int) "two still pending" 2 (Desim.Engine.pending sim);
+  Desim.Engine.run_until_empty sim;
+  Alcotest.(check (list int)) "rest fired" [ 10; 20; 30; 40 ] (List.rev !log)
+
+let test_engine_event_at_horizon_fires () =
+  let sim = Desim.Engine.create () in
+  let fired = ref false in
+  ignore (Desim.Engine.schedule sim ~at:25 (fun _ -> fired := true));
+  Desim.Engine.run ~until:25 sim;
+  Alcotest.(check bool) "inclusive horizon" true !fired
+
+let test_engine_step () =
+  let sim = Desim.Engine.create () in
+  ignore (Desim.Engine.schedule sim ~at:1 (fun _ -> ()));
+  Alcotest.(check bool) "step true" true (Desim.Engine.step sim);
+  Alcotest.(check bool) "step false when empty" false (Desim.Engine.step sim)
+
+(* A tiny single-server queue: exponential arrivals and services; checks that
+   the engine sustains a long event cascade and conservation holds. *)
+let test_engine_mm1_smoke () =
+  let sim = Desim.Engine.create () in
+  let rng = Simrand.Rng.create 7 in
+  let arrivals = ref 0 and departures = ref 0 and queue = ref 0 in
+  let busy = ref false in
+  let rec serve sim =
+    if !queue > 0 && not !busy then begin
+      busy := true;
+      decr queue;
+      let s = int_of_float (Simrand.Dist.exponential rng ~rate:0.2) + 1 in
+      ignore
+        (Desim.Engine.schedule_after sim ~delay:s (fun sim ->
+             incr departures;
+             busy := false;
+             serve sim))
+    end
+  in
+  let rec arrive n sim =
+    if n > 0 then begin
+      incr arrivals;
+      incr queue;
+      serve sim;
+      let gap = int_of_float (Simrand.Dist.exponential rng ~rate:0.1) + 1 in
+      ignore (Desim.Engine.schedule_after sim ~delay:gap (arrive (n - 1)))
+    end
+  in
+  ignore (Desim.Engine.schedule sim ~at:0 (arrive 500));
+  Desim.Engine.run_until_empty sim;
+  Alcotest.(check int) "all arrived" 500 !arrivals;
+  Alcotest.(check int) "all served" 500 !departures;
+  Alcotest.(check int) "queue drained" 0 !queue
+
+let () =
+  Alcotest.run "desim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "to_sorted_list" `Quick
+            test_heap_to_sorted_list_nondestructive;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "in order" `Quick test_engine_executes_in_order;
+          Alcotest.test_case "fifo same time" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "cascading" `Quick
+            test_engine_handler_schedules_more;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "no past" `Quick test_engine_no_past_scheduling;
+          Alcotest.test_case "horizon" `Quick test_engine_run_until_horizon;
+          Alcotest.test_case "horizon inclusive" `Quick
+            test_engine_event_at_horizon_fires;
+          Alcotest.test_case "step" `Quick test_engine_step;
+          Alcotest.test_case "mm1 smoke" `Quick test_engine_mm1_smoke;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_heap_sorts ]);
+    ]

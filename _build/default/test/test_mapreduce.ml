@@ -1,0 +1,364 @@
+(* Tests for the domain model and both workload generators: structural
+   validity, Table-3/Table-4 distributional properties, determinism. *)
+
+module T = Mapreduce.Types
+
+let default_cluster =
+  T.uniform_cluster ~m:50 ~map_capacity:2 ~reduce_capacity:2
+
+(* --- types ------------------------------------------------------------ *)
+
+let mk_task ?(id = 0) ?(job = 0) ?(kind = T.Map_task) ?(e = 10) ?(q = 1) () =
+  { T.task_id = id; job_id = job; kind; exec_time = e; capacity_req = q }
+
+let simple_job =
+  {
+    T.id = 0;
+    arrival = 100;
+    earliest_start = 150;
+    deadline = 1000;
+    map_tasks = [| mk_task ~id:1 ~e:10 (); mk_task ~id:2 ~e:20 () |];
+    reduce_tasks = [| mk_task ~id:3 ~kind:T.Reduce_task ~e:30 () |];
+  }
+
+let test_job_accessors () =
+  Alcotest.(check int) "task count" 3 (T.task_count simple_job);
+  Alcotest.(check int) "total exec" 60 (T.total_exec_time simple_job);
+  Alcotest.(check int) "map exec" 30 (T.total_map_time simple_job);
+  (* laxity = 1000 - 150 - 60 *)
+  Alcotest.(check int) "laxity" 790 (T.laxity simple_job)
+
+let test_validate_ok () =
+  Alcotest.(check bool) "valid" true (T.validate_job simple_job = Ok ())
+
+let test_validate_catches_errors () =
+  let bad_est = { simple_job with T.earliest_start = 50 } in
+  Alcotest.(check bool) "s_j before arrival" true
+    (Result.is_error (T.validate_job bad_est));
+  let bad_kind =
+    { simple_job with T.map_tasks = [| mk_task ~kind:T.Reduce_task () |] }
+  in
+  Alcotest.(check bool) "kind mismatch" true
+    (Result.is_error (T.validate_job bad_kind));
+  let empty = { simple_job with T.map_tasks = [||]; reduce_tasks = [||] } in
+  Alcotest.(check bool) "no tasks" true (Result.is_error (T.validate_job empty))
+
+let test_cluster_slots () =
+  Alcotest.(check int) "map slots" 100 (T.total_map_slots default_cluster);
+  Alcotest.(check int) "reduce slots" 100
+    (T.total_reduce_slots default_cluster);
+  Alcotest.(check int) "resources" 50 (Array.length default_cluster)
+
+let test_minimum_execution_time_single_wave () =
+  (* all tasks fit in one wave: TE = max map + max reduce *)
+  let te = T.minimum_execution_time simple_job default_cluster in
+  Alcotest.(check int) "TE = 20 + 30" 50 te
+
+let test_minimum_execution_time_multi_wave () =
+  (* 3 maps of 10 on one map slot: map phase = 30; 1 reduce of 5: TE = 35 *)
+  let job =
+    {
+      simple_job with
+      T.map_tasks =
+        [| mk_task ~id:1 ~e:10 (); mk_task ~id:2 ~e:10 (); mk_task ~id:3 ~e:10 () |];
+      reduce_tasks = [| mk_task ~id:4 ~kind:T.Reduce_task ~e:5 () |];
+    }
+  in
+  let tiny = T.uniform_cluster ~m:1 ~map_capacity:1 ~reduce_capacity:1 in
+  Alcotest.(check int) "TE = 30 + 5" 35 (T.minimum_execution_time job tiny)
+
+(* --- synthetic (Table 3) ----------------------------------------------- *)
+
+let gen_synthetic ?(n = 300) ?(seed = 1) ?(params = Mapreduce.Synthetic.default)
+    () =
+  Mapreduce.Synthetic.generate
+    { params with Mapreduce.Synthetic.n_jobs = n }
+    ~cluster:default_cluster ~seed
+
+let test_synthetic_structure () =
+  let jobs = gen_synthetic () in
+  Alcotest.(check int) "count" 300 (List.length jobs);
+  List.iter
+    (fun j ->
+      (match T.validate_job j with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "job %d invalid: %s" j.T.id e);
+      Alcotest.(check bool) "1..100 maps" true
+        (Array.length j.T.map_tasks >= 1 && Array.length j.T.map_tasks <= 100);
+      Alcotest.(check bool) "1..100 reduces" true
+        (Array.length j.T.reduce_tasks >= 1
+        && Array.length j.T.reduce_tasks <= 100);
+      Array.iter
+        (fun t ->
+          Alcotest.(check bool) "map time in [1s, 50s]" true
+            (t.T.exec_time >= 1000 && t.T.exec_time <= 50_000))
+        j.T.map_tasks)
+    jobs
+
+let test_synthetic_arrivals_sorted_and_poisson () =
+  let jobs = gen_synthetic ~n:2000 () in
+  let arrivals = List.map (fun j -> j.T.arrival) jobs in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "non-decreasing arrivals" true (sorted arrivals);
+  (* mean inter-arrival should be ~ 1/lambda = 100 s = 100_000 ms *)
+  let rec gaps acc = function
+    | a :: (b :: _ as rest) -> gaps (float_of_int (b - a) :: acc) rest
+    | _ -> acc
+  in
+  let g = gaps [] arrivals in
+  let mean = List.fold_left ( +. ) 0. g /. float_of_int (List.length g) in
+  Alcotest.(check bool) "mean gap within 10% of 100s" true
+    (Float.abs (mean -. 100_000.) /. 100_000. < 0.10)
+
+let test_synthetic_earliest_start_probability () =
+  let params = { Mapreduce.Synthetic.default with Mapreduce.Synthetic.p = 0.5 } in
+  let jobs = gen_synthetic ~n:2000 ~params () in
+  let ar = List.filter (fun j -> j.T.earliest_start > j.T.arrival) jobs in
+  let frac = float_of_int (List.length ar) /. 2000. in
+  Alcotest.(check bool) "about half are advance reservations" true
+    (Float.abs (frac -. 0.5) < 0.05);
+  List.iter
+    (fun j ->
+      let delta = j.T.earliest_start - j.T.arrival in
+      Alcotest.(check bool) "s_j - v_j within (0, s_max]" true
+        (delta > 0 && delta <= 50_000 * 1000))
+    ar
+
+let test_synthetic_p_zero_means_immediate () =
+  let params = { Mapreduce.Synthetic.default with Mapreduce.Synthetic.p = 0. } in
+  let jobs = gen_synthetic ~n:200 ~params () in
+  List.iter
+    (fun j -> Alcotest.(check int) "s_j = v_j" j.T.arrival j.T.earliest_start)
+    jobs
+
+let test_synthetic_deadline_bounds () =
+  let jobs = gen_synthetic ~n:500 () in
+  List.iter
+    (fun j ->
+      let te = T.minimum_execution_time j default_cluster in
+      let d = j.T.deadline - j.T.earliest_start in
+      (* d_j - s_j = TE * U[1, d_M], d_M default 5 *)
+      Alcotest.(check bool) "deadline >= s + TE" true (d >= te - 1);
+      Alcotest.(check bool) "deadline <= s + 5*TE" true
+        (d <= (5 * te) + 1))
+    jobs
+
+let test_synthetic_deterministic () =
+  let a = gen_synthetic ~seed:9 () and b = gen_synthetic ~seed:9 () in
+  Alcotest.(check bool) "same seed, same workload" true (a = b);
+  let c = gen_synthetic ~seed:10 () in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_synthetic_unique_ids () =
+  let jobs = gen_synthetic ~n:100 () in
+  let ids = List.concat_map (fun j -> List.map (fun t -> t.T.task_id) (T.job_tasks j)) jobs in
+  let sorted = List.sort_uniq compare ids in
+  Alcotest.(check int) "task ids unique" (List.length ids) (List.length sorted)
+
+let test_synthetic_reduce_time_formula () =
+  (* re = factor * sum(me)/k_rd + DU[1,10]; check against bounds *)
+  let jobs = gen_synthetic ~n:200 () in
+  List.iter
+    (fun j ->
+      let total_me_s = T.total_map_time j / 1000 in
+      let k_rd = Array.length j.T.reduce_tasks in
+      let base = 3.0 *. float_of_int total_me_s /. float_of_int k_rd in
+      Array.iter
+        (fun t ->
+          let re_s = t.T.exec_time / 1000 in
+          Alcotest.(check bool) "re in [base+1, base+10]" true
+            (float_of_int re_s >= base && float_of_int re_s <= base +. 11.))
+        j.T.reduce_tasks)
+    jobs
+
+(* --- facebook (Table 4) ------------------------------------------------ *)
+
+let fb_cluster = Mapreduce.Facebook.cluster ()
+
+let test_facebook_cluster () =
+  Alcotest.(check int) "64 resources" 64 (Array.length fb_cluster);
+  Array.iter
+    (fun r ->
+      Alcotest.(check int) "1 map slot" 1 r.T.map_capacity;
+      Alcotest.(check int) "1 reduce slot" 1 r.T.reduce_capacity)
+    fb_cluster
+
+let test_facebook_classes_sum_to_1000 () =
+  let total =
+    Array.fold_left
+      (fun acc c -> acc + c.Mapreduce.Facebook.count)
+      0 Mapreduce.Facebook.job_classes
+  in
+  Alcotest.(check int) "counts" 1000 total
+
+let test_facebook_expected_tasks () =
+  (* weighted means of Table 4 *)
+  Alcotest.(check bool) "E[maps] = 216.1" true
+    (Float.abs (Mapreduce.Facebook.expected_maps_per_job () -. 216.1) < 0.01);
+  Alcotest.(check bool) "E[reduces] = 17.82" true
+    (Float.abs (Mapreduce.Facebook.expected_reduces_per_job () -. 17.82) < 0.01)
+
+let test_facebook_generation_matches_classes () =
+  let jobs =
+    Mapreduce.Facebook.generate
+      { Mapreduce.Facebook.default with Mapreduce.Facebook.n_jobs = 2000 }
+      ~cluster:fb_cluster ~seed:3
+  in
+  let class_shapes =
+    Array.to_list Mapreduce.Facebook.job_classes
+    |> List.map (fun c -> (c.Mapreduce.Facebook.maps, c.Mapreduce.Facebook.reduces))
+  in
+  List.iter
+    (fun j ->
+      let shape = (Array.length j.T.map_tasks, Array.length j.T.reduce_tasks) in
+      Alcotest.(check bool) "job shape is a Table-4 class" true
+        (List.mem shape class_shapes);
+      Alcotest.(check int) "p = 0: s_j = v_j" j.T.arrival j.T.earliest_start)
+    jobs;
+  (* the most common class (1 map, 0 reduce) should dominate *)
+  let single = List.length (List.filter (fun j -> Array.length j.T.map_tasks = 1) jobs) in
+  let frac = float_of_int single /. 2000. in
+  Alcotest.(check bool) "~38% single-map jobs" true (Float.abs (frac -. 0.38) < 0.04)
+
+let test_facebook_lognormal_exec_times () =
+  let jobs =
+    Mapreduce.Facebook.generate
+      { Mapreduce.Facebook.default with Mapreduce.Facebook.n_jobs = 500 }
+      ~cluster:fb_cluster ~seed:5
+  in
+  let maps = List.concat_map (fun j -> Array.to_list j.T.map_tasks) jobs in
+  let n = List.length maps in
+  let mean =
+    List.fold_left (fun acc t -> acc +. float_of_int t.T.exec_time) 0. maps
+    /. float_of_int n
+  in
+  let analytic = Simrand.Dist.lognormal_mean ~mu:9.9511 ~sigma2:1.6764 in
+  (* heavy-tailed: allow 15% *)
+  Alcotest.(check bool) "map exec mean near analytic LN mean" true
+    (Float.abs (mean -. analytic) /. analytic < 0.15);
+  List.iter
+    (fun t -> Alcotest.(check bool) "positive" true (t.T.exec_time >= 1))
+    maps
+
+(* --- trace I/O ---------------------------------------------------------- *)
+
+let test_trace_roundtrip () =
+  let jobs = gen_synthetic ~n:20 ~seed:31 () in
+  match Mapreduce.Trace.of_csv (Mapreduce.Trace.to_csv jobs) with
+  | Ok jobs' -> Alcotest.(check bool) "roundtrip equal" true (jobs = jobs')
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let test_trace_roundtrip_facebook () =
+  let jobs =
+    Mapreduce.Facebook.generate
+      { Mapreduce.Facebook.default with Mapreduce.Facebook.n_jobs = 10 }
+      ~cluster:fb_cluster ~seed:3
+  in
+  match Mapreduce.Trace.of_csv (Mapreduce.Trace.to_csv jobs) with
+  | Ok jobs' -> Alcotest.(check bool) "roundtrip equal" true (jobs = jobs')
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
+let test_trace_file_roundtrip () =
+  let jobs = gen_synthetic ~n:5 ~seed:8 () in
+  let path = Filename.temp_file "mrcp_trace" ".csv" in
+  Mapreduce.Trace.save ~path jobs;
+  let result = Mapreduce.Trace.load ~path in
+  Sys.remove path;
+  match result with
+  | Ok jobs' -> Alcotest.(check bool) "file roundtrip" true (jobs = jobs')
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+let test_trace_rejects_garbage () =
+  let is_err s = Result.is_error (Mapreduce.Trace.of_csv s) in
+  Alcotest.(check bool) "empty" true (is_err "");
+  Alcotest.(check bool) "bad header" true (is_err "nope\n1,2,3\n");
+  let h =
+    "job_id,arrival_ms,earliest_start_ms,deadline_ms,task_id,kind,exec_ms,capacity_req\n"
+  in
+  Alcotest.(check bool) "short row" true (is_err (h ^ "1,2,3\n"));
+  Alcotest.(check bool) "bad int" true (is_err (h ^ "x,0,0,10,1,map,5,1\n"));
+  Alcotest.(check bool) "bad kind" true (is_err (h ^ "0,0,0,10,1,shuffle,5,1\n"));
+  Alcotest.(check bool) "duplicate task id" true
+    (is_err (h ^ "0,0,0,10,1,map,5,1\n0,0,0,10,1,map,5,1\n"));
+  Alcotest.(check bool) "inconsistent job fields" true
+    (is_err (h ^ "0,0,0,10,1,map,5,1\n0,0,0,99,2,map,5,1\n"));
+  Alcotest.(check bool) "non-contiguous job rows" true
+    (is_err
+       (h ^ "0,0,0,10,1,map,5,1\n1,0,0,10,2,map,5,1\n0,0,0,10,3,map,5,1\n"))
+
+let prop_trace_roundtrip =
+  QCheck.Test.make ~count:25 ~name:"trace roundtrip on random workloads"
+    QCheck.(pair (int_range 1 15) (int_range 0 100000))
+    (fun (n, seed) ->
+      let jobs = gen_synthetic ~n ~seed () in
+      Mapreduce.Trace.of_csv (Mapreduce.Trace.to_csv jobs) = Ok jobs)
+
+let prop_synthetic_jobs_valid =
+  QCheck.Test.make ~count:30 ~name:"synthetic jobs always validate"
+    QCheck.(
+      triple (int_range 1 30) (int_range 0 1000000) (int_range 1 100))
+    (fun (n, seed, e_max) ->
+      let params =
+        { Mapreduce.Synthetic.default with Mapreduce.Synthetic.n_jobs = n; e_max }
+      in
+      let jobs =
+        Mapreduce.Synthetic.generate params ~cluster:default_cluster ~seed
+      in
+      List.for_all (fun j -> T.validate_job j = Ok ()) jobs)
+
+let () =
+  Alcotest.run "mapreduce"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "accessors" `Quick test_job_accessors;
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "validate errors" `Quick
+            test_validate_catches_errors;
+          Alcotest.test_case "cluster slots" `Quick test_cluster_slots;
+          Alcotest.test_case "TE single wave" `Quick
+            test_minimum_execution_time_single_wave;
+          Alcotest.test_case "TE multi wave" `Quick
+            test_minimum_execution_time_multi_wave;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "structure" `Quick test_synthetic_structure;
+          Alcotest.test_case "arrivals" `Slow
+            test_synthetic_arrivals_sorted_and_poisson;
+          Alcotest.test_case "earliest start p" `Slow
+            test_synthetic_earliest_start_probability;
+          Alcotest.test_case "p=0" `Quick test_synthetic_p_zero_means_immediate;
+          Alcotest.test_case "deadline bounds" `Quick
+            test_synthetic_deadline_bounds;
+          Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+          Alcotest.test_case "unique ids" `Quick test_synthetic_unique_ids;
+          Alcotest.test_case "reduce formula" `Quick
+            test_synthetic_reduce_time_formula;
+        ] );
+      ( "facebook",
+        [
+          Alcotest.test_case "cluster" `Quick test_facebook_cluster;
+          Alcotest.test_case "classes sum" `Quick
+            test_facebook_classes_sum_to_1000;
+          Alcotest.test_case "expected tasks" `Quick test_facebook_expected_tasks;
+          Alcotest.test_case "generated classes" `Slow
+            test_facebook_generation_matches_classes;
+          Alcotest.test_case "lognormal times" `Slow
+            test_facebook_lognormal_exec_times;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "roundtrip facebook" `Quick
+            test_trace_roundtrip_facebook;
+          Alcotest.test_case "file roundtrip" `Quick test_trace_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_trace_rejects_garbage;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_synthetic_jobs_valid; prop_trace_roundtrip ] );
+    ]

@@ -1,0 +1,96 @@
+(* Tests for table/CSV rendering and the Gantt chart. *)
+
+module T = Mapreduce.Types
+
+let test_table_render () =
+  let s =
+    Report.Table.render ~title:"t" ~headers:[ "a"; "bb" ]
+      ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ]
+      ()
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check string) "title" "t" (List.nth lines 0);
+  Alcotest.(check string) "header" "a    bb" (List.nth lines 1);
+  Alcotest.(check string) "rule" "---  --" (List.nth lines 2);
+  Alcotest.(check string) "row" "333  4 " (List.nth lines 4)
+
+let test_table_ragged_rejected () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Table.render: ragged rows")
+    (fun () ->
+      ignore (Report.Table.render ~headers:[ "a" ] ~rows:[ [ "1"; "2" ] ] ()))
+
+let test_csv_escaping () =
+  let s =
+    Report.Table.csv ~headers:[ "x"; "y" ]
+      ~rows:[ [ "a,b"; "say \"hi\"" ]; [ "plain"; "3" ] ]
+  in
+  Alcotest.(check string) "escaped"
+    "x,y\n\"a,b\",\"say \"\"hi\"\"\"\nplain,3\n" s
+
+let test_fmt_helpers () =
+  Alcotest.(check string) "pct" "3.46%" (Report.Table.fmt_pct 0.0346);
+  Alcotest.(check string) "seconds big" "0.57s" (Report.Table.fmt_seconds 0.57);
+  Alcotest.(check string) "seconds small" "0.0030s"
+    (Report.Table.fmt_seconds 0.003);
+  Alcotest.(check string) "seconds tiny" "0.000300s"
+    (Report.Table.fmt_seconds 0.0003);
+  Alcotest.(check string) "zero" "0s" (Report.Table.fmt_seconds 0.)
+
+let test_write_file () =
+  let path = Filename.temp_file "mrcp" ".csv" in
+  Report.Table.write_file ~path "hello\n";
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "roundtrip" "hello" line
+
+let dispatch ~task_id ~job ~kind ~slot ~start ~e =
+  {
+    Sched.Dispatch.task =
+      { T.task_id; job_id = job; kind; exec_time = e; capacity_req = 1 };
+    resource_id = 0;
+    slot;
+    start;
+  }
+
+let test_gantt_empty () =
+  Alcotest.(check string) "empty" "(empty plan)\n" (Report.Gantt.render [])
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_gantt_draws_tasks () =
+  let ds =
+    [
+      dispatch ~task_id:1 ~job:0 ~kind:T.Map_task ~slot:0 ~start:0 ~e:50;
+      dispatch ~task_id:2 ~job:1 ~kind:T.Map_task ~slot:0 ~start:50 ~e:50;
+      dispatch ~task_id:3 ~job:0 ~kind:T.Reduce_task ~slot:0 ~start:50 ~e:50;
+    ]
+  in
+  let s = Report.Gantt.render ~width:10 ds in
+  (* map slot row: first half 0s, second half 1s *)
+  Alcotest.(check bool) "map section" true (contains s "map slots:");
+  Alcotest.(check bool) "job 0 drawn" true (contains s "00000");
+  Alcotest.(check bool) "job 1 drawn" true (contains s "11111");
+  Alcotest.(check bool) "reduce section" true (contains s "reduce slots:")
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "ragged" `Quick test_table_ragged_rejected;
+          Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+          Alcotest.test_case "fmt helpers" `Quick test_fmt_helpers;
+          Alcotest.test_case "write file" `Quick test_write_file;
+        ] );
+      ( "gantt",
+        [
+          Alcotest.test_case "empty" `Quick test_gantt_empty;
+          Alcotest.test_case "draws tasks" `Quick test_gantt_draws_tasks;
+        ] );
+    ]

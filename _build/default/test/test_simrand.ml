@@ -1,0 +1,248 @@
+(* Tests for the PRNG and the distribution samplers: determinism, stream
+   independence, range/moment checks against analytic values. *)
+
+let rng seed = Simrand.Rng.create seed
+
+let test_determinism () =
+  let a = rng 42 and b = rng 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same seed, same stream" (Simrand.Rng.next_int64 a)
+      (Simrand.Rng.next_int64 b)
+  done
+
+let test_different_seeds_differ () =
+  let a = rng 1 and b = rng 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Simrand.Rng.next_int64 a = Simrand.Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_split_independent () =
+  let g = rng 7 in
+  let a = Simrand.Rng.split g in
+  let b = Simrand.Rng.split g in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Simrand.Rng.next_int64 a = Simrand.Rng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "split streams differ" true (!same < 4)
+
+let test_copy_preserves_state () =
+  let g = rng 11 in
+  ignore (Simrand.Rng.next_int64 g);
+  let c = Simrand.Rng.copy g in
+  Alcotest.(check int64)
+    "copy continues identically" (Simrand.Rng.next_int64 g)
+    (Simrand.Rng.next_int64 c)
+
+let test_state_roundtrip () =
+  let g = rng 13 in
+  ignore (Simrand.Rng.next_int64 g);
+  let saved = Simrand.Rng.state g in
+  let g' = Simrand.Rng.of_state saved in
+  Alcotest.(check int64) "resume from state" (Simrand.Rng.next_int64 g)
+    (Simrand.Rng.next_int64 g')
+
+let test_int_bounds () =
+  let g = rng 3 in
+  for _ = 1 to 10_000 do
+    let v = Simrand.Rng.int g 7 in
+    Alcotest.(check bool) "0 <= v < 7" true (v >= 0 && v < 7)
+  done
+
+let test_int_rejects_nonpositive () =
+  let g = rng 3 in
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Simrand.Rng.int g 0))
+
+let test_int_uniformity () =
+  let g = rng 5 in
+  let n = 60_000 and k = 6 in
+  let counts = Array.make k 0 in
+  for _ = 1 to n do
+    let v = Simrand.Rng.int g k in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int n /. float_of_int k in
+  Array.iter
+    (fun c ->
+      let dev = Float.abs (float_of_int c -. expected) /. expected in
+      Alcotest.(check bool) "within 5% of uniform" true (dev < 0.05))
+    counts
+
+let mean_of f n g =
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. f g
+  done;
+  !acc /. float_of_int n
+
+let test_unit_float_range_and_mean () =
+  let g = rng 17 in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    let u = Simrand.Rng.unit_float g in
+    Alcotest.(check bool) "in [0,1)" true (u >= 0. && u < 1.);
+    acc := !acc +. u
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_exponential_mean () =
+  let g = rng 19 in
+  let rate = 0.02 in
+  let mean = mean_of (fun g -> Simrand.Dist.exponential g ~rate) 50_000 g in
+  Alcotest.(check bool) "mean near 1/rate" true
+    (Float.abs (mean -. 50.) /. 50. < 0.03)
+
+let test_discrete_uniform_range () =
+  let g = rng 23 in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 5_000 do
+    let v = Simrand.Dist.discrete_uniform g ~lo:1 ~hi:10 in
+    Alcotest.(check bool) "in [1,10]" true (v >= 1 && v <= 10);
+    if v = 1 then seen_lo := true;
+    if v = 10 then seen_hi := true
+  done;
+  Alcotest.(check bool) "both endpoints reachable" true (!seen_lo && !seen_hi)
+
+let test_bernoulli_mean () =
+  let g = rng 29 in
+  let hits = ref 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    if Simrand.Dist.bernoulli g ~p:0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "p near 0.3" true (Float.abs (p -. 0.3) < 0.01)
+
+let test_bernoulli_degenerate () =
+  let g = rng 31 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never true" false
+      (Simrand.Dist.bernoulli g ~p:0.);
+    Alcotest.(check bool) "p=1 always true" true
+      (Simrand.Dist.bernoulli g ~p:1.)
+  done
+
+let test_normal_moments () =
+  let g = rng 37 in
+  let n = 100_000 in
+  let acc = ref 0. and acc2 = ref 0. in
+  for _ = 1 to n do
+    let x = Simrand.Dist.normal g ~mu:5. ~sigma:2. in
+    acc := !acc +. x;
+    acc2 := !acc2 +. (x *. x)
+  done;
+  let mean = !acc /. float_of_int n in
+  let var = (!acc2 /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (mean -. 5.) < 0.05);
+  Alcotest.(check bool) "variance near 4" true (Float.abs (var -. 4.) < 0.15)
+
+let test_lognormal_mean_matches_analytic () =
+  (* The paper's map-task distribution: LN(9.9511, 1.6764) in ms. *)
+  let g = rng 41 in
+  let mu = 9.9511 and sigma2 = 1.6764 in
+  let analytic = Simrand.Dist.lognormal_mean ~mu ~sigma2 in
+  let n = 400_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. Simrand.Dist.lognormal g ~mu ~sigma2
+  done;
+  let mean = !acc /. float_of_int n in
+  Alcotest.(check bool) "empirical mean within 5% of analytic" true
+    (Float.abs (mean -. analytic) /. analytic < 0.05)
+
+let test_poisson_mean () =
+  let g = rng 43 in
+  let mean = mean_of (fun g -> float_of_int (Simrand.Dist.poisson g ~mean:4.2)) 50_000 g in
+  Alcotest.(check bool) "mean near 4.2" true (Float.abs (mean -. 4.2) < 0.1)
+
+let test_categorical_frequencies () =
+  let g = rng 47 in
+  let sampler = Simrand.Dist.categorical ~weights:[| 1.; 3.; 6. |] in
+  let counts = Array.make 3 0 in
+  let n = 60_000 in
+  for _ = 1 to n do
+    let i = Simrand.Dist.categorical_draw sampler g in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let freq i = float_of_int counts.(i) /. float_of_int n in
+  Alcotest.(check bool) "10%" true (Float.abs (freq 0 -. 0.1) < 0.01);
+  Alcotest.(check bool) "30%" true (Float.abs (freq 1 -. 0.3) < 0.015);
+  Alcotest.(check bool) "60%" true (Float.abs (freq 2 -. 0.6) < 0.015)
+
+let test_categorical_rejects_bad_weights () =
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Dist.categorical: negative weight") (fun () ->
+      ignore (Simrand.Dist.categorical ~weights:[| 1.; -1. |]));
+  Alcotest.check_raises "zero total"
+    (Invalid_argument "Dist.categorical: zero total weight") (fun () ->
+      ignore (Simrand.Dist.categorical ~weights:[| 0.; 0. |]))
+
+(* qcheck: Rng.int never exceeds its bound for arbitrary bounds/seeds *)
+let prop_int_in_range =
+  QCheck.Test.make ~count:500 ~name:"Rng.int in range"
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = rng seed in
+      let v = Simrand.Rng.int g bound in
+      v >= 0 && v < bound)
+
+let prop_int_incl_in_range =
+  QCheck.Test.make ~count:500 ~name:"Rng.int_incl in range"
+    QCheck.(triple small_int (int_range (-1000) 1000) (int_range 0 1000))
+    (fun (seed, lo, width) ->
+      let g = rng seed in
+      let v = Simrand.Rng.int_incl g lo (lo + width) in
+      v >= lo && v <= lo + width)
+
+let prop_exponential_positive =
+  QCheck.Test.make ~count:500 ~name:"exponential > 0"
+    QCheck.(pair small_int (float_range 0.0001 10.))
+    (fun (seed, rate) ->
+      let g = rng seed in
+      Simrand.Dist.exponential g ~rate >= 0.)
+
+let () =
+  Alcotest.run "simrand"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_different_seeds_differ;
+          Alcotest.test_case "split independent" `Quick test_split_independent;
+          Alcotest.test_case "copy" `Quick test_copy_preserves_state;
+          Alcotest.test_case "state roundtrip" `Quick test_state_roundtrip;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int rejects <= 0" `Quick
+            test_int_rejects_nonpositive;
+          Alcotest.test_case "int uniformity" `Slow test_int_uniformity;
+          Alcotest.test_case "unit_float" `Slow test_unit_float_range_and_mean;
+        ] );
+      ( "dist",
+        [
+          Alcotest.test_case "exponential mean" `Slow test_exponential_mean;
+          Alcotest.test_case "discrete uniform" `Quick
+            test_discrete_uniform_range;
+          Alcotest.test_case "bernoulli mean" `Slow test_bernoulli_mean;
+          Alcotest.test_case "bernoulli degenerate" `Quick
+            test_bernoulli_degenerate;
+          Alcotest.test_case "normal moments" `Slow test_normal_moments;
+          Alcotest.test_case "lognormal analytic mean" `Slow
+            test_lognormal_mean_matches_analytic;
+          Alcotest.test_case "poisson mean" `Slow test_poisson_mean;
+          Alcotest.test_case "categorical frequencies" `Slow
+            test_categorical_frequencies;
+          Alcotest.test_case "categorical bad weights" `Quick
+            test_categorical_rejects_bad_weights;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_int_in_range; prop_int_incl_in_range; prop_exponential_positive ]
+      );
+    ]

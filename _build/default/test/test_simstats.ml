@@ -1,0 +1,192 @@
+(* Tests for Welford accumulators, Student-t confidence intervals and the
+   replication driver. *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let test_welford_basic () =
+  let w = Simstats.Welford.create () in
+  List.iter (Simstats.Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Simstats.Welford.count w);
+  Alcotest.(check bool) "mean" true (feq (Simstats.Welford.mean w) 5.);
+  (* sample variance of that classic dataset is 32/7 *)
+  Alcotest.(check bool) "variance" true
+    (feq (Simstats.Welford.variance w) (32. /. 7.));
+  Alcotest.(check bool) "min" true (feq (Simstats.Welford.min_value w) 2.);
+  Alcotest.(check bool) "max" true (feq (Simstats.Welford.max_value w) 9.);
+  Alcotest.(check bool) "total" true (feq (Simstats.Welford.total w) 40.)
+
+let test_welford_empty () =
+  let w = Simstats.Welford.create () in
+  Alcotest.(check int) "count 0" 0 (Simstats.Welford.count w);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (Simstats.Welford.mean w))
+
+let test_welford_single () =
+  let w = Simstats.Welford.create () in
+  Simstats.Welford.add w 3.;
+  Alcotest.(check bool) "mean" true (feq (Simstats.Welford.mean w) 3.);
+  Alcotest.(check bool) "variance nan with n=1" true
+    (Float.is_nan (Simstats.Welford.variance w))
+
+let test_welford_merge () =
+  let all = Simstats.Welford.create () in
+  let a = Simstats.Welford.create () and b = Simstats.Welford.create () in
+  List.iteri
+    (fun i x ->
+      Simstats.Welford.add all x;
+      Simstats.Welford.add (if i mod 2 = 0 then a else b) x)
+    [ 1.; 10.; 2.; 20.; 3.; 30.; 4.; 40. ];
+  let merged = Simstats.Welford.merge a b in
+  Alcotest.(check int) "count" (Simstats.Welford.count all)
+    (Simstats.Welford.count merged);
+  Alcotest.(check bool) "mean" true
+    (feq (Simstats.Welford.mean all) (Simstats.Welford.mean merged));
+  Alcotest.(check bool) "variance" true
+    (feq ~eps:1e-6
+       (Simstats.Welford.variance all)
+       (Simstats.Welford.variance merged))
+
+let test_welford_merge_empty () =
+  let a = Simstats.Welford.create () in
+  Simstats.Welford.add a 5.;
+  let e = Simstats.Welford.create () in
+  let m1 = Simstats.Welford.merge a e and m2 = Simstats.Welford.merge e a in
+  Alcotest.(check int) "a+empty" 1 (Simstats.Welford.count m1);
+  Alcotest.(check int) "empty+a" 1 (Simstats.Welford.count m2)
+
+let test_t_critical_table_values () =
+  (* classic table entries *)
+  Alcotest.(check bool) "df=1, 95%" true
+    (feq ~eps:1e-3 (Simstats.Confidence.t_critical ~df:1 ~level:0.95) 12.706);
+  Alcotest.(check bool) "df=10, 95%" true
+    (feq ~eps:1e-3 (Simstats.Confidence.t_critical ~df:10 ~level:0.95) 2.228);
+  Alcotest.(check bool) "df=30, 99%" true
+    (feq ~eps:1e-3 (Simstats.Confidence.t_critical ~df:30 ~level:0.99) 2.750);
+  (* large df approaches z *)
+  Alcotest.(check bool) "df=1000 ~ z" true
+    (feq ~eps:0.01 (Simstats.Confidence.t_critical ~df:1000 ~level:0.95) 1.96)
+
+let test_t_critical_monotone_in_df () =
+  let prev = ref infinity in
+  for df = 1 to 60 do
+    let t = Simstats.Confidence.t_critical ~df ~level:0.95 in
+    Alcotest.(check bool) "non-increasing in df" true (t <= !prev +. 1e-9);
+    prev := t
+  done
+
+let test_confidence_interval () =
+  let samples = [| 10.; 12.; 9.; 11.; 10.; 12.; 9.; 11. |] in
+  let ci = Simstats.Confidence.of_samples samples in
+  Alcotest.(check bool) "mean 10.5" true (feq ci.Simstats.Confidence.mean 10.5);
+  Alcotest.(check int) "n" 8 ci.Simstats.Confidence.n;
+  Alcotest.(check bool) "half width positive" true
+    (ci.Simstats.Confidence.half_width > 0.);
+  (* hand-computed: s = sqrt(42/28)... stddev of samples = 1.1952,
+     se = 0.4226, t(7, .95) = 2.365 -> hw ~ 0.9995 *)
+  Alcotest.(check bool) "half width value" true
+    (feq ~eps:1e-2 ci.Simstats.Confidence.half_width 0.9995)
+
+let test_confidence_needs_two () =
+  Alcotest.check_raises "one sample rejected"
+    (Invalid_argument "Confidence.of_welford: need at least 2 samples")
+    (fun () -> ignore (Simstats.Confidence.of_samples [| 1. |]))
+
+let test_within_relative () =
+  let tight = Simstats.Confidence.of_samples [| 100.; 100.1; 99.9; 100. |] in
+  Alcotest.(check bool) "tight CI within 1%" true
+    (Simstats.Confidence.within_relative tight 0.01);
+  let loose = Simstats.Confidence.of_samples [| 50.; 150.; 25.; 175. |] in
+  Alcotest.(check bool) "loose CI not within 1%" false
+    (Simstats.Confidence.within_relative loose 0.01)
+
+let test_replicate_runs_all () =
+  let calls = ref [] in
+  let spec =
+    {
+      Simstats.Replicate.run =
+        (fun ~seed ->
+          calls := seed :: !calls;
+          float_of_int seed);
+      metrics = [ ("value", Fun.id) ];
+    }
+  in
+  let result = Simstats.Replicate.run ~max_reps:5 ~base_seed:100 spec in
+  Alcotest.(check int) "five replications" 5
+    result.Simstats.Replicate.replications;
+  Alcotest.(check (list int)) "seeds 100..104" [ 100; 101; 102; 103; 104 ]
+    (List.rev !calls);
+  Alcotest.(check bool) "mean is 102" true
+    (feq (Simstats.Replicate.mean result "value") 102.)
+
+let test_replicate_early_stop () =
+  (* constant metric: CI collapses immediately after min_reps *)
+  let spec =
+    {
+      Simstats.Replicate.run = (fun ~seed:_ -> 42.);
+      metrics = [ ("value", Fun.id) ];
+    }
+  in
+  let result =
+    Simstats.Replicate.run
+      ~target_relative:(Some ("value", 0.01))
+      ~min_reps:3 ~max_reps:100 ~base_seed:0 spec
+  in
+  Alcotest.(check int) "stopped at min_reps" 3
+    result.Simstats.Replicate.replications
+
+let prop_welford_mean_matches_naive =
+  QCheck.Test.make ~count:300 ~name:"welford mean = naive mean"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let w = Simstats.Welford.create () in
+      List.iter (Simstats.Welford.add w) xs;
+      let naive = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      Float.abs (Simstats.Welford.mean w -. naive) < 1e-6)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:300 ~name:"welford merge commutative"
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 0 20) (float_range (-100.) 100.))
+        (list_of_size (QCheck.Gen.int_range 0 20) (float_range (-100.) 100.)))
+    (fun (xs, ys) ->
+      let fill l =
+        let w = Simstats.Welford.create () in
+        List.iter (Simstats.Welford.add w) l;
+        w
+      in
+      let ab = Simstats.Welford.merge (fill xs) (fill ys) in
+      let ba = Simstats.Welford.merge (fill ys) (fill xs) in
+      Simstats.Welford.count ab = Simstats.Welford.count ba
+      &&
+      if Simstats.Welford.count ab = 0 then true
+      else
+        Float.abs (Simstats.Welford.mean ab -. Simstats.Welford.mean ba) < 1e-9)
+
+let () =
+  Alcotest.run "simstats"
+    [
+      ( "welford",
+        [
+          Alcotest.test_case "basic" `Quick test_welford_basic;
+          Alcotest.test_case "empty" `Quick test_welford_empty;
+          Alcotest.test_case "single" `Quick test_welford_single;
+          Alcotest.test_case "merge" `Quick test_welford_merge;
+          Alcotest.test_case "merge empty" `Quick test_welford_merge_empty;
+        ] );
+      ( "confidence",
+        [
+          Alcotest.test_case "t table" `Quick test_t_critical_table_values;
+          Alcotest.test_case "t monotone" `Quick test_t_critical_monotone_in_df;
+          Alcotest.test_case "interval" `Quick test_confidence_interval;
+          Alcotest.test_case "needs two samples" `Quick test_confidence_needs_two;
+          Alcotest.test_case "within relative" `Quick test_within_relative;
+        ] );
+      ( "replicate",
+        [
+          Alcotest.test_case "runs all" `Quick test_replicate_runs_all;
+          Alcotest.test_case "early stop" `Quick test_replicate_early_stop;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_welford_mean_matches_naive; prop_merge_commutative ] );
+    ]

@@ -1,0 +1,311 @@
+(* Tests for the DAG-workflow extension (paper §VII future work): DAG
+   validation/topology, the generalized greedy, the CP model, and agreement
+   with the MapReduce pipeline on two-stage chains. *)
+
+module T = Mapreduce.Types
+
+let task_counter = ref 0
+
+let task ?(kind = T.Map_task) ?(q = 1) ~job e =
+  incr task_counter;
+  { T.task_id = !task_counter; job_id = job; kind; exec_time = e; capacity_req = q }
+
+let tasks ?(kind = T.Map_task) ~job es =
+  Array.of_list (List.map (task ~kind ~job) es)
+
+(* diamond:  0 -> 1,2 -> 3 *)
+let diamond ?(id = 0) ?(est = 0) ~deadline () =
+  {
+    Workflow.Dag.id;
+    earliest_start = est;
+    deadline;
+    stages =
+      [|
+        { Workflow.Dag.stage_id = 0; pool = T.Map_task; tasks = tasks ~job:id [ 10; 10 ] };
+        { Workflow.Dag.stage_id = 1; pool = T.Map_task; tasks = tasks ~job:id [ 20 ] };
+        { Workflow.Dag.stage_id = 2; pool = T.Reduce_task; tasks = tasks ~kind:T.Reduce_task ~job:id [ 15 ] };
+        { Workflow.Dag.stage_id = 3; pool = T.Reduce_task; tasks = tasks ~kind:T.Reduce_task ~job:id [ 5; 5 ] };
+      |];
+    precedences = [ (0, 1); (0, 2); (1, 3); (2, 3) ];
+  }
+
+(* --- dag ---------------------------------------------------------------- *)
+
+let test_validate_ok () =
+  Alcotest.(check bool) "diamond valid" true
+    (Workflow.Dag.validate (diamond ~deadline:1000 ()) = Ok ())
+
+let test_validate_cycle () =
+  let w = { (diamond ~deadline:1000 ()) with Workflow.Dag.precedences = [ (0, 1); (1, 0) ] } in
+  (match Workflow.Dag.validate w with
+  | Error msg -> Alcotest.(check string) "cycle reported" "precedence cycle" msg
+  | Ok () -> Alcotest.fail "cycle not caught")
+
+let test_validate_unknown_stage () =
+  let w = { (diamond ~deadline:1000 ()) with Workflow.Dag.precedences = [ (0, 9) ] } in
+  Alcotest.(check bool) "unknown stage rejected" true
+    (Result.is_error (Workflow.Dag.validate w))
+
+let test_validate_self_edge () =
+  let w = { (diamond ~deadline:1000 ()) with Workflow.Dag.precedences = [ (1, 1) ] } in
+  Alcotest.(check bool) "self edge rejected" true
+    (Result.is_error (Workflow.Dag.validate w))
+
+let test_topological_order () =
+  let w = diamond ~deadline:1000 () in
+  let order = Workflow.Dag.topological_order w in
+  let pos id =
+    let p = ref (-1) in
+    Array.iteri (fun i x -> if x = id then p := i) order;
+    !p
+  in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d before %d" a b)
+        true
+        (pos a < pos b))
+    w.Workflow.Dag.precedences
+
+let test_critical_path () =
+  (* diamond spans: s0=10, s1=20, s2=15, s3=5; longest chain 10+20+5 = 35 *)
+  Alcotest.(check int) "critical path" 35
+    (Workflow.Dag.critical_path (diamond ~deadline:1000 ()))
+
+let test_of_mapreduce_job () =
+  let job =
+    {
+      T.id = 7;
+      arrival = 0;
+      earliest_start = 5;
+      deadline = 500;
+      map_tasks = tasks ~job:7 [ 10; 20 ];
+      reduce_tasks = tasks ~kind:T.Reduce_task ~job:7 [ 30 ];
+    }
+  in
+  let w = Workflow.Dag.of_mapreduce_job job in
+  Alcotest.(check bool) "valid" true (Workflow.Dag.validate w = Ok ());
+  Alcotest.(check int) "two stages" 2 (Array.length w.Workflow.Dag.stages);
+  Alcotest.(check (list (pair int int))) "chain edge" [ (0, 1) ]
+    w.Workflow.Dag.precedences;
+  (* map-only job: single stage, no edges *)
+  let mo = Workflow.Dag.of_mapreduce_job { job with T.reduce_tasks = [||] } in
+  Alcotest.(check int) "one stage" 1 (Array.length mo.Workflow.Dag.stages);
+  Alcotest.(check (list (pair int int))) "no edges" [] mo.Workflow.Dag.precedences
+
+let test_chain_constructor () =
+  let w =
+    Workflow.Dag.chain ~id:1 ~earliest_start:0 ~deadline:100
+      ~stages:
+        [
+          (T.Map_task, tasks ~job:1 [ 10 ]);
+          (T.Map_task, tasks ~job:1 [ 10 ]);
+          (T.Reduce_task, tasks ~kind:T.Reduce_task ~job:1 [ 10 ]);
+        ]
+  in
+  Alcotest.(check bool) "valid" true (Workflow.Dag.validate w = Ok ());
+  Alcotest.(check (list (pair int int))) "linear edges" [ (0, 1); (1, 2) ]
+    w.Workflow.Dag.precedences;
+  Alcotest.(check int) "critical path 30" 30 (Workflow.Dag.critical_path w)
+
+(* --- greedy + solve ------------------------------------------------------ *)
+
+let inst ?(map_cap = 2) ?(reduce_cap = 2) jobs =
+  { Workflow.Solve.map_capacity = map_cap; reduce_capacity = reduce_cap;
+    jobs = Array.of_list jobs }
+
+let check_feasible i sol =
+  match Workflow.Solve.feasibility_errors i sol with
+  | [] -> ()
+  | errs -> Alcotest.failf "infeasible: %s" (String.concat "; " errs)
+
+let test_greedy_diamond () =
+  let i = inst [ diamond ~deadline:1000 () ] in
+  let sol = Workflow.Solve.greedy i in
+  check_feasible i sol;
+  Alcotest.(check int) "on time" 0 sol.Workflow.Solve.late_jobs
+
+let test_greedy_respects_precedence_order () =
+  (* stage 3's tasks must start at >= 35 (critical path through 0 -> 1) *)
+  let w = diamond ~deadline:1000 () in
+  let i = inst [ w ] in
+  let sol = Workflow.Solve.greedy i in
+  let s3 = Workflow.Dag.stage w 3 in
+  Array.iter
+    (fun (t : T.task) ->
+      Alcotest.(check bool) "after both branches" true
+        (Hashtbl.find sol.Workflow.Solve.starts t.T.task_id >= 30))
+    s3.Workflow.Dag.tasks
+
+let test_greedy_est () =
+  let i = inst [ diamond ~est:500 ~deadline:5000 () ] in
+  let sol = Workflow.Solve.greedy i in
+  check_feasible i sol;
+  Hashtbl.iter
+    (fun _ start -> Alcotest.(check bool) "after est" true (start >= 500))
+    sol.Workflow.Solve.starts
+
+let test_solve_doomed () =
+  (* deadline below the critical path: provably late *)
+  let i = inst [ diamond ~deadline:30 () ] in
+  let sol, stats = Workflow.Solve.solve i in
+  check_feasible i sol;
+  Alcotest.(check int) "late" 1 sol.Workflow.Solve.late_jobs;
+  Alcotest.(check int) "lower bound" 1 stats.Workflow.Solve.lower_bound;
+  Alcotest.(check bool) "proved" true stats.Workflow.Solve.proved_optimal
+
+let test_solve_contended_pair () =
+  (* two single-stage jobs on one map slot, only one can be on time; search
+     must prove 1 is optimal *)
+  let single id deadline =
+    Workflow.Dag.chain ~id ~earliest_start:0 ~deadline
+      ~stages:[ (T.Map_task, tasks ~job:id [ 10 ]) ]
+  in
+  let i = inst ~map_cap:1 [ single 0 15; single 1 15 ] in
+  let sol, stats = Workflow.Solve.solve i in
+  check_feasible i sol;
+  Alcotest.(check int) "one late" 1 sol.Workflow.Solve.late_jobs;
+  Alcotest.(check bool) "proved optimal" true stats.Workflow.Solve.proved_optimal
+
+let test_solve_matches_mapreduce_pipeline () =
+  (* two-stage chains solved by the workflow solver agree (in late-job count)
+     with the MapReduce CP solver on the converted instance *)
+  let rng = Simrand.Rng.create 99 in
+  for _ = 1 to 25 do
+    let n = 1 + Simrand.Rng.int rng 4 in
+    let jobs =
+      List.init n (fun id ->
+          let maps = List.init (1 + Simrand.Rng.int rng 3) (fun _ -> 1 + Simrand.Rng.int rng 30) in
+          let reduces = List.init (Simrand.Rng.int rng 3) (fun _ -> 1 + Simrand.Rng.int rng 30) in
+          let total = List.fold_left ( + ) 0 maps + List.fold_left ( + ) 0 reduces in
+          let est = Simrand.Rng.int rng 40 in
+          let deadline = est + (total / 2) + Simrand.Rng.int rng 80 in
+          {
+            T.id;
+            arrival = 0;
+            earliest_start = est;
+            deadline;
+            map_tasks = tasks ~job:id maps;
+            reduce_tasks = tasks ~kind:T.Reduce_task ~job:id reduces;
+          })
+    in
+    let mr_inst =
+      Sched.Instance.of_fresh_jobs ~now:0 ~map_capacity:2 ~reduce_capacity:2 jobs
+    in
+    let mr_sol, _ = Cp.Solver.solve mr_inst in
+    let wf_inst = inst (List.map Workflow.Dag.of_mapreduce_job jobs) in
+    let wf_sol, _ = Workflow.Solve.solve wf_inst in
+    check_feasible wf_inst wf_sol;
+    Alcotest.(check int) "same optimal late count"
+      mr_sol.Sched.Solution.late_jobs wf_sol.Workflow.Solve.late_jobs
+  done
+
+let test_dag_beats_chain_makespan () =
+  (* parallel branches must overlap: diamond completes well before the
+     serialized sum of stage spans *)
+  let i = inst ~map_cap:4 ~reduce_cap:4 [ diamond ~deadline:10_000 () ] in
+  let sol = Workflow.Solve.greedy i in
+  let w = i.Workflow.Solve.jobs.(0) in
+  let completion =
+    Workflow.Dag.all_tasks w
+    |> List.fold_left
+         (fun acc (t : T.task) ->
+           max acc (Hashtbl.find sol.Workflow.Solve.starts t.T.task_id + t.T.exec_time))
+         0
+  in
+  (* serial stage spans: 10+20+15+5 = 50; with branch overlap: 35 *)
+  Alcotest.(check int) "branches overlap" 35 completion
+
+(* property: random DAGs — greedy always feasible, solve never worse *)
+let gen_random_dag =
+  QCheck.Gen.(
+    let* id = int_range 0 5 in
+    let* n_stages = int_range 1 5 in
+    let* pools = list_repeat n_stages bool in
+    let* sizes = list_repeat n_stages (int_range 1 3) in
+    let* durations = list_repeat n_stages (int_range 1 30) in
+    let stages =
+      List.mapi
+        (fun i (pool, (size, d)) ->
+          {
+            Workflow.Dag.stage_id = i;
+            pool = (if pool then T.Map_task else T.Reduce_task);
+            tasks =
+              Array.of_list (List.init size (fun k -> task ~job:id (d + k)));
+          })
+        (List.combine pools (List.combine sizes durations))
+    in
+    (* random forward edges only: guaranteed acyclic *)
+    let* edge_flags =
+      list_repeat (n_stages * n_stages) (int_range 0 3)
+    in
+    let precedences =
+      List.concat
+        (List.mapi
+           (fun idx flag ->
+             let a = idx / n_stages and b = idx mod n_stages in
+             if a < b && flag = 0 then [ (a, b) ] else [])
+           edge_flags)
+    in
+    let* est = int_range 0 50 in
+    let* slack = int_range 0 150 in
+    let w =
+      {
+        Workflow.Dag.id;
+        earliest_start = est;
+        deadline = 0;
+        stages = Array.of_list stages;
+        precedences;
+      }
+    in
+    let deadline = est + Workflow.Dag.critical_path w + slack - 50 in
+    return { w with Workflow.Dag.deadline = max est deadline })
+
+let prop_random_dags =
+  QCheck.Test.make ~count:100 ~name:"random DAGs: greedy feasible, solve <= greedy"
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_range 1 4 in
+         let* ws = list_repeat n gen_random_dag in
+         let ws = List.mapi (fun i w -> { w with Workflow.Dag.id = i }) ws in
+         return (inst ws)))
+    (fun i ->
+      Array.for_all (fun w -> Workflow.Dag.validate w = Ok ()) i.Workflow.Solve.jobs
+      &&
+      let g = Workflow.Solve.greedy i in
+      Workflow.Solve.feasibility_errors i g = []
+      &&
+      let sol, stats = Workflow.Solve.solve ~limits:{ Cp.Search.no_limits with Cp.Search.fail_limit = 5000 } i in
+      Workflow.Solve.feasibility_errors i sol = []
+      && sol.Workflow.Solve.late_jobs <= g.Workflow.Solve.late_jobs
+      && sol.Workflow.Solve.late_jobs >= stats.Workflow.Solve.lower_bound)
+
+let () =
+  Alcotest.run "workflow"
+    [
+      ( "dag",
+        [
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "cycle" `Quick test_validate_cycle;
+          Alcotest.test_case "unknown stage" `Quick test_validate_unknown_stage;
+          Alcotest.test_case "self edge" `Quick test_validate_self_edge;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "of_mapreduce_job" `Quick test_of_mapreduce_job;
+          Alcotest.test_case "chain" `Quick test_chain_constructor;
+        ] );
+      ( "solve",
+        [
+          Alcotest.test_case "greedy diamond" `Quick test_greedy_diamond;
+          Alcotest.test_case "greedy precedence" `Quick
+            test_greedy_respects_precedence_order;
+          Alcotest.test_case "greedy est" `Quick test_greedy_est;
+          Alcotest.test_case "doomed" `Quick test_solve_doomed;
+          Alcotest.test_case "contended pair" `Quick test_solve_contended_pair;
+          Alcotest.test_case "matches mapreduce solver" `Slow
+            test_solve_matches_mapreduce_pipeline;
+          Alcotest.test_case "branch overlap" `Quick
+            test_dag_beats_chain_makespan;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_dags ]);
+    ]
