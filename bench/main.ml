@@ -139,6 +139,11 @@ let bench_full_solve =
   Test.make ~name:"cp solve (seed+LB+search): 40-job batch" @@ Staged.stage
   @@ fun () -> ignore (Cp.Solver.solve batch_instance)
 
+let bench_portfolio =
+  Test.make ~name:"cp portfolio solve (2 domains): 40-job batch"
+  @@ Staged.stage
+  @@ fun () -> ignore (Cp.Portfolio.solve ~domains:2 batch_instance)
+
 let bench_matchmaker =
   let solution, _ = Cp.Solver.solve batch_instance in
   let pending =
@@ -239,6 +244,7 @@ let micro_tests =
       bench_propagation;
       bench_exact;
       bench_full_solve;
+      bench_portfolio;
       bench_matchmaker;
       bench_workflow;
       bench_simplex;
@@ -324,6 +330,86 @@ let figure_tests =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* portfolio comparison mode (--portfolio-compare): sequential vs      *)
+(* portfolio solve on the fixture instances, emitted as JSON so        *)
+(* BENCH_*.json snapshots can track the speedup across PRs             *)
+(* ------------------------------------------------------------------ *)
+
+(* a larger instance that keeps the LNS regime busy for the comparison *)
+let batch80_instance =
+  let rng = Simrand.Rng.create 2 in
+  let jobs =
+    List.init 80 (fun i ->
+        let maps =
+          List.init (1 + Simrand.Rng.int rng 6) (fun _ -> 1 + Simrand.Rng.int rng 50)
+        in
+        let reduces =
+          List.init (Simrand.Rng.int rng 4) (fun _ -> 1 + Simrand.Rng.int rng 50)
+        in
+        let total = List.fold_left ( + ) 0 maps + List.fold_left ( + ) 0 reduces in
+        mk_job ~id:i
+          ~est:(Simrand.Rng.int rng 200)
+          ~deadline:(total + Simrand.Rng.int rng 200)
+          ~maps ~reduces)
+  in
+  Sched.Instance.of_fresh_jobs ~now:0 ~map_capacity:4 ~reduce_capacity:2 jobs
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let portfolio_compare ~domains () =
+  let options =
+    { Cp.Solver.default_options with Cp.Solver.time_limit = 2.0; seed = 42 }
+  in
+  let case name inst =
+    let seq_sol, seq_stats = Cp.Solver.solve ~options inst in
+    let par_sol, par_stats = Cp.Portfolio.solve ~domains ~options inst in
+    let workers =
+      par_stats.Cp.Portfolio.workers
+      |> Array.map (fun (w : Cp.Portfolio.worker_stats) ->
+             Printf.sprintf
+               {|{"strategy":"%s","late":%d,"nodes":%d,"failures":%d,"lns_moves":%d,"proved":%b}|}
+               (json_escape w.Cp.Portfolio.strategy)
+               w.Cp.Portfolio.w_late_jobs w.Cp.Portfolio.w_nodes
+               w.Cp.Portfolio.w_failures w.Cp.Portfolio.w_lns_moves
+               w.Cp.Portfolio.w_proved)
+      |> Array.to_list |> String.concat ","
+    in
+    let seq_t = seq_stats.Cp.Solver.elapsed in
+    let par_t = par_stats.Cp.Portfolio.base.Cp.Solver.elapsed in
+    Printf.sprintf
+      {|{"case":"%s","seq":{"late":%d,"tardiness":%d,"nodes":%d,"elapsed_s":%.6f,"proved":%b},"portfolio":{"late":%d,"tardiness":%d,"nodes":%d,"elapsed_s":%.6f,"proved":%b,"winner":"%s","workers":[%s]},"speedup":%.3f}|}
+      name seq_sol.Sched.Solution.late_jobs seq_sol.Sched.Solution.total_tardiness
+      seq_stats.Cp.Solver.nodes seq_t seq_stats.Cp.Solver.proved_optimal
+      par_sol.Sched.Solution.late_jobs par_sol.Sched.Solution.total_tardiness
+      par_stats.Cp.Portfolio.base.Cp.Solver.nodes par_t
+      par_stats.Cp.Portfolio.base.Cp.Solver.proved_optimal
+      (json_escape par_stats.Cp.Portfolio.winner)
+      workers
+      (if par_t > 0. then seq_t /. par_t else 0.)
+  in
+  let cases =
+    [
+      case "exact6" exact_instance;
+      case "batch40" batch_instance;
+      case "batch80" batch80_instance;
+    ]
+  in
+  Printf.printf
+    {|{"bench":"portfolio-compare","domains":%d,"cases":[%s]}|} domains
+    (String.concat "," cases);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -365,9 +451,28 @@ let print_group name results =
     (List.sort compare !rows)
 
 let () =
-  Printf.printf
-    "MRCP-RM benchmark harness (bechamel); full-scale figure regeneration \
-     lives in bin/experiments.exe\n";
-  print_group "micro" (analyze (benchmark micro_tests));
-  print_group "figures (scaled-down)" (analyze (benchmark figure_tests));
-  Printf.printf "\ndone.\n"
+  let argv = Sys.argv in
+  if Array.exists (( = ) "--portfolio-compare") argv then begin
+    (* bench/main.exe --portfolio-compare [N]: sequential-vs-portfolio JSON *)
+    let domains =
+      let n = Array.length argv in
+      let rec find i =
+        if i >= n then Cp.Portfolio.recommended_domains ()
+        else if argv.(i) = "--portfolio-compare" && i + 1 < n then
+          match int_of_string_opt argv.(i + 1) with
+          | Some d when d > 0 -> d
+          | _ -> Cp.Portfolio.recommended_domains ()
+        else find (i + 1)
+      in
+      find 1
+    in
+    portfolio_compare ~domains ()
+  end
+  else begin
+    Printf.printf
+      "MRCP-RM benchmark harness (bechamel); full-scale figure regeneration \
+       lives in bin/experiments.exe\n";
+    print_group "micro" (analyze (benchmark micro_tests));
+    print_group "figures (scaled-down)" (analyze (benchmark figure_tests));
+    Printf.printf "\ndone.\n"
+  end

@@ -11,11 +11,14 @@ open Cmdliner
 type workload = Synthetic | Facebook
 
 let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
-    seed budget ordering deferral validate verbose trace =
+    seed budget ordering domains deferral validate verbose trace =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
   end;
+  let domains =
+    if domains = 0 then Cp.Portfolio.recommended_domains () else domains
+  in
   let config =
     {
       Expkit.Runner.n_jobs = jobs;
@@ -24,6 +27,7 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
       manager;
       ordering;
       solver_time_limit = budget;
+      solver_domains = domains;
       deferral_window = deferral;
       validate;
     }
@@ -49,8 +53,8 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
                 in
                 Opensim.Driver.of_mrcp
                   (Mrcp.Manager.create ~cluster
-                     { Mrcp.Manager.solver; deferral_window = deferral;
-                       validate })
+                     { Mrcp.Manager.solver; domains;
+                       deferral_window = deferral; validate })
             | Expkit.Runner.Min_edf_wc | Expkit.Runner.Edf_wc
             | Expkit.Runner.Fcfs_wc ->
                 let policy =
@@ -145,6 +149,11 @@ let term =
     $ Arg.(value & opt float 0.2 & info [ "budget" ] ~doc:"CP time budget (s).")
     $ Arg.(value & opt ordering_conv Sched.Greedy.Edf
            & info [ "ordering" ] ~doc:"MRCP-RM job ordering strategy.")
+    $ Arg.(value & opt int 1
+           & info [ "domains" ]
+               ~doc:"Solver domains: 1 = sequential (deterministic), N > 1 \
+                     = parallel portfolio on N OCaml domains, 0 = use all \
+                     recommended domains.")
     $ Arg.(value & opt (some int) (Some 300_000)
            & info [ "deferral" ] ~doc:"Deferral window in ms (§V.E).")
     $ Arg.(value & flag & info [ "validate" ] ~doc:"Full feasibility oracle.")

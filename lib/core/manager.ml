@@ -9,6 +9,7 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type config = {
   solver : Cp.Solver.options;
+  domains : int;
   deferral_window : int option;
   validate : bool;
 }
@@ -16,6 +17,7 @@ type config = {
 let default_config =
   {
     solver = Cp.Solver.default_options;
+    domains = 1;
     deferral_window = Some 300_000 (* 300 s *);
     validate = false;
   }
@@ -48,6 +50,7 @@ type t = {
   mutable solves : int;
   mutable scheduled_jobs : int;
   mutable last_stats : Cp.Solver.stats option;
+  mutable last_portfolio : Cp.Portfolio.stats option;
 }
 
 let create ~cluster config =
@@ -67,6 +70,7 @@ let create ~cluster config =
     solves = 0;
     scheduled_jobs = 0;
     last_stats = None;
+    last_portfolio = None;
   }
 
 let due ~now t (job : T.job) =
@@ -208,7 +212,14 @@ let invoke t ~now =
     in
     (* lines 19–20: generate and solve the model *)
     let options = { t.config.solver with Cp.Solver.seed = t.config.solver.Cp.Solver.seed + t.solves } in
-    let solution, stats = Cp.Solver.solve ~options inst in
+    let solution, stats =
+      if t.config.domains > 1 then begin
+        let sol, ps = Cp.Portfolio.solve ~domains:t.config.domains ~options inst in
+        t.last_portfolio <- Some ps;
+        (sol, ps.Cp.Portfolio.base)
+      end
+      else Cp.Solver.solve ~options inst
+    in
     t.last_stats <- Some stats;
     t.solves <- t.solves + 1;
     if t.config.validate then begin
@@ -284,3 +295,4 @@ let solve_count t = t.solves
 let jobs_scheduled t = t.scheduled_jobs
 let last_stats t = t.last_stats
 let last_solver_stats = last_stats
+let last_portfolio_stats t = t.last_portfolio

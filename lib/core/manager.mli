@@ -27,6 +27,9 @@
 
 type config = {
   solver : Cp.Solver.options;
+  domains : int;
+      (** > 1: solve through {!Cp.Portfolio} on that many OCaml domains;
+          1 (default) keeps the sequential, deterministic {!Cp.Solver} *)
   deferral_window : int option;
       (** §V.E: [Some w] defers jobs with s_j > now + w; [None] disables *)
   validate : bool;
@@ -35,7 +38,8 @@ type config = {
 }
 
 val default_config : config
-(** EDF ordering, deferral window 300 s, validation off. *)
+(** EDF ordering, 1 domain (sequential), deferral window 300 s, validation
+    off. *)
 
 type t
 
@@ -80,3 +84,9 @@ val jobs_scheduled : t -> int
     the denominator of O. *)
 
 val last_solver_stats : t -> Cp.Solver.stats option
+(** Stats of the most recent solve.  Under a portfolio configuration this is
+    the aggregate ({!Cp.Portfolio.stats.base}). *)
+
+val last_portfolio_stats : t -> Cp.Portfolio.stats option
+(** Per-worker breakdown of the most recent solve; [None] until a solve has
+    run with [config.domains > 1]. *)

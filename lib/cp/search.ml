@@ -4,9 +4,27 @@ type limits = {
   fail_limit : int;
   node_limit : int;
   wall_deadline : float option;
+  interrupt : (unit -> bool) option;
+  tighten_bound : (unit -> int) option;
+  on_improve : (int -> unit) option;
 }
 
-let no_limits = { fail_limit = 0; node_limit = 0; wall_deadline = None }
+let no_limits =
+  {
+    fail_limit = 0;
+    node_limit = 0;
+    wall_deadline = None;
+    interrupt = None;
+    tighten_bound = None;
+    on_improve = None;
+  }
+
+type tie_break = Slack_first | Duration_first | Deadline_first
+
+let tie_break_to_string = function
+  | Slack_first -> "slack"
+  | Duration_first -> "duration"
+  | Deadline_first -> "deadline"
 
 type start_info = { svar : Store.var; duration : int; deadline : int }
 
@@ -31,6 +49,7 @@ exception Limit_reached
 type 'a state = {
   problem : 'a problem;
   limits : limits;
+  tie_break : tie_break;
   mutable best : 'a option;
   mutable nodes : int;
   mutable failures : int;
@@ -45,6 +64,17 @@ let check_limits st =
   st.ticks <- st.ticks - 1;
   if st.ticks <= 0 then begin
     st.ticks <- 64;
+    (match st.limits.interrupt with
+    | Some stop when stop () -> raise Limit_reached
+    | _ -> ());
+    (* Adopt an incumbent bound found by a sibling portfolio worker.  The
+       bound ref only ever tightens, and the objective cut is re-scheduled at
+       every node, so lowering it here is safe mid-search. *)
+    (match st.limits.tighten_bound with
+    | Some global ->
+        let g = global () in
+        if g < !(st.problem.bound) then st.problem.bound := g
+    | None -> ());
     match st.limits.wall_deadline with
     | Some deadline when Unix.gettimeofday () > deadline -> raise Limit_reached
     | _ -> ()
@@ -77,8 +107,14 @@ let select_start st postponed =
         let est = Store.min_of s info.svar in
         if postponed.(i) <> est then begin
           let slack = info.deadline - est - info.duration in
-          (* prefer small est, then small slack, then long duration *)
-          let key = (est, slack, -info.duration) in
+          (* always prefer small est; the remaining tie-break is the
+             portfolio's diversification axis *)
+          let key =
+            match st.tie_break with
+            | Slack_first -> (est, slack, -info.duration)
+            | Duration_first -> (est, -info.duration, slack)
+            | Deadline_first -> (est, info.deadline, -info.duration)
+          in
           if key < !best_key then begin
             best_key := key;
             best := i
@@ -100,7 +136,10 @@ let record_solution st =
   let payload, late_count = st.problem.extract () in
   if late_count < !(st.problem.bound) then begin
     st.best <- Some payload;
-    st.problem.bound := late_count
+    st.problem.bound := late_count;
+    match st.limits.on_improve with
+    | Some announce -> announce late_count
+    | None -> ()
   end
 
 let rec dfs st postponed =
@@ -159,8 +198,11 @@ and branch_asym st postponed ~left ~right =
   let postponed' = Array.copy postponed in
   right postponed'
 
-let run_problem problem limits =
-  let st = { problem; limits; best = None; nodes = 0; failures = 0; ticks = 1 } in
+let run_problem ?(tie_break = Slack_first) problem limits =
+  let st =
+    { problem; limits; tie_break; best = None; nodes = 0; failures = 0;
+      ticks = 1 }
+  in
   let s = problem.store in
   let postponed = Array.make (Array.length problem.starts) min_int in
   let proved_optimal =
@@ -208,8 +250,8 @@ let problem_of_model (m : Model.t) =
         (sol, sol.Sched.Solution.late_jobs));
   }
 
-let run model limits =
-  let o = run_problem (problem_of_model model) limits in
+let run ?tie_break model limits =
+  let o = run_problem ?tie_break (problem_of_model model) limits in
   {
     best = o.best;
     proved_optimal = o.proved_optimal;

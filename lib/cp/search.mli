@@ -22,9 +22,28 @@ type limits = {
   fail_limit : int;  (** max failures before giving up (0 = unlimited) *)
   node_limit : int;  (** max nodes (0 = unlimited) *)
   wall_deadline : float option;  (** Unix.gettimeofday cutoff *)
+  interrupt : (unit -> bool) option;
+      (** polled every ~64 nodes; [true] abandons the search (reported as not
+          proved).  The portfolio's first-to-prove-optimal cancellation. *)
+  tighten_bound : (unit -> int) option;
+      (** polled every ~64 nodes; when it returns a value below
+          [problem.bound] the bound is adopted, so this search prunes against
+          incumbents found by sibling portfolio workers.  The callback must be
+          safe to call from this search's domain (e.g. read an [Atomic]). *)
+  on_improve : (int -> unit) option;
+      (** called with the new Σ N_j whenever this search records a better
+          solution — the write side of the shared incumbent. *)
 }
 
 val no_limits : limits
+(** No limits and no portfolio hooks — plain sequential search. *)
+
+type tie_break =
+  | Slack_first  (** est, then least slack, then longest duration (default) *)
+  | Duration_first  (** est, then longest duration, then least slack *)
+  | Deadline_first  (** est, then earliest owning-job deadline *)
+
+val tie_break_to_string : tie_break -> string
 
 type start_info = {
   svar : Store.var;
@@ -50,8 +69,10 @@ type 'a generic_outcome = {
   failures : int;
 }
 
-val run_problem : 'a problem -> limits -> 'a generic_outcome
-(** Explore.  [problem.bound] must hold the strict bound to beat on entry. *)
+val run_problem : ?tie_break:tie_break -> 'a problem -> limits -> 'a generic_outcome
+(** Explore.  [problem.bound] must hold the strict bound to beat on entry.
+    [tie_break] picks the SetTimes tie-breaking rule (default
+    {!Slack_first}, the historical behaviour). *)
 
 type outcome = {
   best : Sched.Solution.t option;
@@ -60,5 +81,5 @@ type outcome = {
   failures : int;
 }
 
-val run : Model.t -> limits -> outcome
+val run : ?tie_break:tie_break -> Model.t -> limits -> outcome
 (** {!run_problem} specialized to the Table-1 MapReduce model. *)

@@ -11,6 +11,7 @@ type options = {
   lns_neighbors : int;
   lns_max_stall : int;
   seed : int;
+  tie_break : Search.tie_break;
 }
 
 let default_options =
@@ -22,6 +23,27 @@ let default_options =
     lns_neighbors = 4;
     lns_max_stall = 12;
     seed = 0;
+    tie_break = Search.Slack_first;
+  }
+
+(* Hooks a portfolio coordinator installs so concurrent workers share the
+   incumbent Σ N_j and stop as soon as one of them proves optimality.  The
+   null link (used by the plain sequential {!solve}) makes every hook a
+   no-op, so the linked code path is observably identical to the historical
+   sequential solver. *)
+type link = {
+  should_stop : unit -> bool;
+  global_bound : unit -> int;
+  announce : int -> unit;
+  isolated : bool;
+}
+
+let null_link =
+  {
+    should_stop = (fun () -> false);
+    global_bound = (fun () -> max_int);
+    announce = ignore;
+    isolated = true;
   }
 
 type stats = {
@@ -156,16 +178,17 @@ let merge_starts (inst : Instance.t) (incumbent : Solution.t)
   Hashtbl.iter (Hashtbl.replace merged) partial.Solution.starts;
   Solution.evaluate inst merged
 
-let run_exact inst ~bound_to_beat ~limits =
+let run_exact ?tie_break inst ~bound_to_beat ~limits =
   let model = Model.build inst ~horizon:(Model.default_horizon inst) in
   model.Model.bound := bound_to_beat;
-  Search.run model limits
+  Search.run ?tie_break model limits
 
-let solve ?(options = default_options) (inst : Instance.t) =
+let solve_linked ~options ~link (inst : Instance.t) =
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. options.time_limit in
   let seed_sol = greedy_seed ~ordering:options.ordering inst in
   let lb = late_lower_bound inst in
+  link.announce seed_sol.Solution.late_jobs;
   let nodes = ref 0 and failures = ref 0 and lns_moves = ref 0 in
   let finish incumbent proved =
     ( incumbent,
@@ -188,10 +211,15 @@ let solve ?(options = default_options) (inst : Instance.t) =
           Search.fail_limit = options.fail_limit;
           node_limit = 0;
           wall_deadline = Some deadline;
+          interrupt = Some link.should_stop;
+          tighten_bound =
+            (if link.isolated then None else Some link.global_bound);
+          on_improve = Some link.announce;
         }
       in
-      let outcome = run_exact inst ~bound_to_beat:seed_sol.Solution.late_jobs
-          ~limits
+      let outcome =
+        run_exact ~tie_break:options.tie_break inst
+          ~bound_to_beat:seed_sol.Solution.late_jobs ~limits
       in
       nodes := outcome.Search.nodes;
       failures := outcome.Search.failures;
@@ -212,6 +240,7 @@ let solve ?(options = default_options) (inst : Instance.t) =
         !incumbent.Solution.late_jobs > lb
         && !stall < options.lns_max_stall
         && Unix.gettimeofday () < deadline
+        && not (link.should_stop ())
       in
       while continue () do
         incr lns_moves;
@@ -235,10 +264,22 @@ let solve ?(options = default_options) (inst : Instance.t) =
             Search.fail_limit = options.fail_limit;
             node_limit = 0;
             wall_deadline = Some deadline;
+            interrupt = Some link.should_stop;
+            (* the subsearch walks a local neighbourhood; foreign bounds feed
+               in through [bound_to_beat] below, not mid-search, so the
+               isolated (sequential-replica) trajectory stays reproducible *)
+            tighten_bound = None;
+            on_improve = None;
           }
         in
+        (* prune against the best solution found anywhere: a fragment is only
+           worth exploring if it can beat the global incumbent *)
+        let bound_to_beat =
+          if link.isolated then !incumbent.Solution.late_jobs
+          else min !incumbent.Solution.late_jobs (link.global_bound ())
+        in
         let outcome =
-          run_exact sub ~bound_to_beat:!incumbent.Solution.late_jobs ~limits
+          run_exact ~tie_break:options.tie_break sub ~bound_to_beat ~limits
         in
         nodes := !nodes + outcome.Search.nodes;
         failures := !failures + outcome.Search.failures;
@@ -247,7 +288,8 @@ let solve ?(options = default_options) (inst : Instance.t) =
             let merged = merge_starts inst !incumbent partial in
             if Solution.better merged !incumbent then begin
               incumbent := merged;
-              stall := 0
+              stall := 0;
+              link.announce merged.Solution.late_jobs
             end
             else incr stall
         | None -> incr stall
@@ -255,3 +297,6 @@ let solve ?(options = default_options) (inst : Instance.t) =
       finish !incumbent (!incumbent.Solution.late_jobs <= lb)
     end
   end
+
+let solve ?(options = default_options) (inst : Instance.t) =
+  solve_linked ~options ~link:null_link inst

@@ -25,6 +25,9 @@ type options = {
   lns_neighbors : int;  (** extra random jobs relaxed per LNS move *)
   lns_max_stall : int;  (** stop after this many non-improving moves *)
   seed : int;  (** randomization seed for LNS *)
+  tie_break : Search.tie_break;
+      (** SetTimes branching tie-break (default {!Search.Slack_first}); the
+          portfolio diversifies its B&B workers along this axis *)
 }
 
 val default_options : options
@@ -38,6 +41,44 @@ type stats = {
   lns_moves : int;
   elapsed : float;  (** wall-clock seconds spent *)
 }
+
+type link = {
+  should_stop : unit -> bool;
+      (** polled between LNS moves and inside the tree search; [true] makes
+          the solver return its incumbent immediately (first-to-prove-optimal
+          cancellation) *)
+  global_bound : unit -> int;
+      (** best Σ N_j found by any portfolio worker ([max_int] when none);
+          non-isolated workers prune against it *)
+  announce : int -> unit;
+      (** called with every improved local Σ N_j — the write side of the
+          shared incumbent *)
+  isolated : bool;
+      (** [true]: never let foreign bounds steer this worker's own search —
+          its trajectory (and thus its result, absent cancellation) is
+          bit-identical to the sequential {!solve}.  The portfolio runs its
+          worker 0 isolated so the parallel solve can never return a worse
+          Σ N_j than the sequential one. *)
+}
+
+val null_link : link
+(** All hooks are no-ops, [isolated = true].  [solve = solve_linked
+    ~link:null_link]. *)
+
+val solve_linked :
+  options:options -> link:link -> Sched.Instance.t -> Sched.Solution.t * stats
+(** One portfolio worker: the full seed → bound → B&B-or-LNS pipeline of
+    {!solve}, wired to the coordinator through [link].  Thread-safety: the
+    worker builds its own {!Store}/{!Model} and RNG, shares only the
+    read-only instance and the [link] callbacks, and is therefore safe to
+    run on its own domain (see {!Portfolio}). *)
+
+val greedy_seed :
+  ordering:Sched.Greedy.order -> Sched.Instance.t -> Sched.Solution.t
+(** Best greedy solution across the three §VI.B orderings plus the
+    doomed-last variant, preferring [ordering] on ties — the seed {!solve}
+    starts from.  Deterministic; exported so the portfolio coordinator can
+    take the seed-is-optimal shortcut without spawning domains. *)
 
 val late_lower_bound : Sched.Instance.t -> int
 (** Number of jobs that are late in {e every} schedule: est plus the

@@ -17,6 +17,7 @@ type config = {
   manager : manager_kind;
   ordering : Sched.Greedy.order;
   solver_time_limit : float;
+  solver_domains : int;
   deferral_window : int option;
   validate : bool;
 }
@@ -29,6 +30,7 @@ let default_config =
     manager = Mrcp_rm;
     ordering = Sched.Greedy.Edf;
     solver_time_limit = 0.2;
+    solver_domains = 1;
     deferral_window = Some 300_000;
     validate = false;
   }
@@ -66,6 +68,7 @@ let make_driver config cluster ~seed =
       let mconfig =
         {
           Mrcp.Manager.solver;
+          domains = config.solver_domains;
           deferral_window = config.deferral_window;
           validate = config.validate;
         }

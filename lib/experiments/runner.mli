@@ -21,12 +21,16 @@ type config = {
   manager : manager_kind;
   ordering : Sched.Greedy.order;  (** MRCP-RM job-ordering strategy *)
   solver_time_limit : float;  (** per-invocation CP budget, seconds *)
+  solver_domains : int;
+      (** > 1 solves through {!Cp.Portfolio} on that many domains; 1 keeps
+          the deterministic sequential solver *)
   deferral_window : int option;  (** §V.E, ms *)
   validate : bool;
 }
 
 val default_config : config
-(** 200 jobs, 3 reps, MRCP-RM, EDF, 0.2 s budget, 300 s deferral window. *)
+(** 200 jobs, 3 reps, MRCP-RM, EDF, 0.2 s budget, 1 domain, 300 s deferral
+    window. *)
 
 type point = {
   label : string;

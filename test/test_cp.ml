@@ -350,11 +350,166 @@ let test_search_limits_honoured () =
   model.Cp.Model.bound := 10;
   let outcome =
     Cp.Search.run model
-      { Cp.Search.fail_limit = 0; node_limit = 25; wall_deadline = None }
+      { Cp.Search.no_limits with Cp.Search.node_limit = 25 }
   in
   Alcotest.(check bool) "node limit" true (outcome.Cp.Search.nodes <= 25);
   Alcotest.(check bool) "not proved under limits" false
     outcome.Cp.Search.proved_optimal
+
+(* --- parallel portfolio ----------------------------------------------- *)
+
+(* Exact equality of two solutions: same objective AND the same start time
+   for every task (bit-identical start maps). *)
+let check_same_solution msg (a : Solution.t) (b : Solution.t) =
+  Alcotest.(check int) (msg ^ ": late jobs") a.Solution.late_jobs
+    b.Solution.late_jobs;
+  Alcotest.(check int) (msg ^ ": tardiness") a.Solution.total_tardiness
+    b.Solution.total_tardiness;
+  Alcotest.(check int) (msg ^ ": size") (Hashtbl.length a.Solution.starts)
+    (Hashtbl.length b.Solution.starts);
+  Hashtbl.iter
+    (fun task_id start ->
+      match Hashtbl.find_opt b.Solution.starts task_id with
+      | Some s -> Alcotest.(check int) (Printf.sprintf "%s: task %d" msg task_id) start s
+      | None -> Alcotest.failf "%s: task %d missing" msg task_id)
+    a.Solution.starts
+
+(* instances exercising all three solver regimes: seed-optimal fast path,
+   exact B&B, and LNS *)
+let portfolio_instances () =
+  [
+    ( "seed-optimal",
+      instance [ mk_job ~id:0 ~deadline:100_000 ~maps:[ 10; 20 ] ~reduces:[ 5 ] () ] );
+    ( "bnb",
+      instance ~map_cap:1 ~reduce_cap:1
+        [
+          mk_job ~id:0 ~deadline:15 ~maps:[ 10 ] ~reduces:[] ();
+          mk_job ~id:1 ~deadline:15 ~maps:[ 10 ] ~reduces:[] ();
+          mk_job ~id:2 ~deadline:40 ~maps:[ 10 ] ~reduces:[ 5 ] ();
+        ] );
+    ( "lns",
+      instance ~map_cap:2 ~reduce_cap:1
+        (List.init 12 (fun i ->
+             mk_job ~id:i
+               ~est:(7 * i)
+               ~deadline:(40 + (9 * i))
+               ~maps:[ 10; 8; 6 ] ~reduces:[ 7 ] ())) );
+  ]
+
+let portfolio_options =
+  {
+    Cp.Solver.default_options with
+    Cp.Solver.exact_task_limit = 12;
+    time_limit = 10. (* generous: stall/fail limits terminate *);
+    fail_limit = 5_000;
+    seed = 3;
+  }
+
+(* (a) domains=1 must be observably identical to the sequential solver. *)
+let test_portfolio_domains1_identical () =
+  List.iter
+    (fun (name, inst) ->
+      let seq_sol, seq_stats = Cp.Solver.solve ~options:portfolio_options inst in
+      let par_sol, pstats =
+        Cp.Portfolio.solve ~domains:1 ~options:portfolio_options inst
+      in
+      check_same_solution name seq_sol par_sol;
+      Alcotest.(check int) (name ^ ": nodes") seq_stats.Cp.Solver.nodes
+        pstats.Cp.Portfolio.base.Cp.Solver.nodes;
+      Alcotest.(check int) (name ^ ": failures") seq_stats.Cp.Solver.failures
+        pstats.Cp.Portfolio.base.Cp.Solver.failures;
+      Alcotest.(check int) (name ^ ": lns moves") seq_stats.Cp.Solver.lns_moves
+        pstats.Cp.Portfolio.base.Cp.Solver.lns_moves;
+      Alcotest.(check bool) (name ^ ": proof") seq_stats.Cp.Solver.proved_optimal
+        pstats.Cp.Portfolio.base.Cp.Solver.proved_optimal;
+      Alcotest.(check int) (name ^ ": one worker") 1
+        (Array.length pstats.Cp.Portfolio.workers))
+    (portfolio_instances ())
+
+(* (b) multi-domain runs are feasible and never worse than sequential. *)
+let test_portfolio_multi_domain_no_worse () =
+  List.iter
+    (fun (name, inst) ->
+      let seq_sol, _ = Cp.Solver.solve ~options:portfolio_options inst in
+      let par_sol, pstats =
+        Cp.Portfolio.solve ~domains:4 ~options:portfolio_options inst
+      in
+      check_feasible inst par_sol;
+      Alcotest.(check bool)
+        (name ^ ": portfolio no worse than sequential")
+        true
+        (par_sol.Solution.late_jobs <= seq_sol.Solution.late_jobs);
+      (* the winner is one of the strategies that ran *)
+      Alcotest.(check bool) (name ^ ": winner ran") true
+        (Array.exists
+           (fun (w : Cp.Portfolio.worker_stats) ->
+             w.Cp.Portfolio.strategy = pstats.Cp.Portfolio.winner)
+           pstats.Cp.Portfolio.workers);
+      (* aggregate counters are the per-worker sums *)
+      let sum f = Array.fold_left (fun acc w -> acc + f w) 0 pstats.Cp.Portfolio.workers in
+      Alcotest.(check int) (name ^ ": nodes add up")
+        (sum (fun w -> w.Cp.Portfolio.w_nodes))
+        pstats.Cp.Portfolio.base.Cp.Solver.nodes;
+      Alcotest.(check int) (name ^ ": lns moves add up")
+        (sum (fun w -> w.Cp.Portfolio.w_lns_moves))
+        pstats.Cp.Portfolio.base.Cp.Solver.lns_moves)
+    (portfolio_instances ())
+
+(* The seed-optimal fast path must not spawn domains: a single pseudo-worker
+   and a proof, identical to the sequential fast path. *)
+let test_portfolio_seed_shortcut () =
+  let inst =
+    instance [ mk_job ~id:0 ~deadline:100_000 ~maps:[ 10; 20 ] ~reduces:[ 5 ] () ]
+  in
+  let seq_sol, _ = Cp.Solver.solve inst in
+  let par_sol, pstats = Cp.Portfolio.solve ~domains:8 inst in
+  check_same_solution "seed shortcut" seq_sol par_sol;
+  Alcotest.(check bool) "proved" true
+    pstats.Cp.Portfolio.base.Cp.Solver.proved_optimal;
+  Alcotest.(check int) "no domains spawned" 1 pstats.Cp.Portfolio.domains_used;
+  Alcotest.(check int) "zero nodes" 0 pstats.Cp.Portfolio.base.Cp.Solver.nodes
+
+(* Proof parity: when sequential B&B proves optimality, a multi-domain run
+   reaches the same objective and also reports a proof. *)
+let test_portfolio_proves_optimal () =
+  let inst =
+    instance ~map_cap:1 ~reduce_cap:1
+      [
+        mk_job ~id:0 ~deadline:15 ~maps:[ 10 ] ~reduces:[] ();
+        mk_job ~id:1 ~deadline:15 ~maps:[ 10 ] ~reduces:[] ();
+      ]
+  in
+  let seq_sol, seq_stats = Cp.Solver.solve inst in
+  Alcotest.(check bool) "sequential proves" true seq_stats.Cp.Solver.proved_optimal;
+  let par_sol, pstats = Cp.Portfolio.solve ~domains:3 inst in
+  check_feasible inst par_sol;
+  Alcotest.(check int) "same optimum" seq_sol.Solution.late_jobs
+    par_sol.Solution.late_jobs;
+  Alcotest.(check bool) "portfolio proves" true
+    pstats.Cp.Portfolio.base.Cp.Solver.proved_optimal
+
+(* Search tie-breaks must not change the proved optimum, only the tree. *)
+let test_tie_breaks_agree () =
+  let inst =
+    instance ~map_cap:1 ~reduce_cap:1
+      [
+        mk_job ~id:0 ~deadline:20 ~maps:[ 10 ] ~reduces:[ 10 ] ();
+        mk_job ~id:1 ~est:1 ~deadline:35 ~maps:[ 10 ] ~reduces:[ 5 ] ();
+        mk_job ~id:2 ~deadline:18 ~maps:[ 9 ] ~reduces:[] ();
+      ]
+  in
+  let solve_with tie_break =
+    let options = { Cp.Solver.default_options with Cp.Solver.tie_break } in
+    let sol, stats = Cp.Solver.solve ~options inst in
+    check_feasible inst sol;
+    Alcotest.(check bool) "proved" true stats.Cp.Solver.proved_optimal;
+    sol.Solution.late_jobs
+  in
+  let base = solve_with Cp.Search.Slack_first in
+  Alcotest.(check int) "duration tie-break agrees" base
+    (solve_with Cp.Search.Duration_first);
+  Alcotest.(check int) "deadline tie-break agrees" base
+    (solve_with Cp.Search.Deadline_first)
 
 (* --- direct per-resource formulation (pre-§V.D) ------------------------ *)
 
@@ -496,6 +651,18 @@ let prop_objective_at_least_lower_bound =
       let sol, stats = solve inst in
       sol.Solution.late_jobs >= stats.Cp.Solver.lower_bound)
 
+let prop_portfolio_no_worse_than_sequential =
+  QCheck.Test.make ~count:40
+    ~name:"portfolio (2 domains) feasible and never worse than sequential"
+    arb_instance (fun inst ->
+      let options =
+        { Cp.Solver.default_options with Cp.Solver.time_limit = 5.; seed = 11 }
+      in
+      let seq, _ = solve ~options inst in
+      let par, _ = Cp.Portfolio.solve ~domains:2 ~options inst in
+      Solution.feasibility_errors inst par = []
+      && par.Solution.late_jobs <= seq.Solution.late_jobs)
+
 let prop_optimal_matches_bruteforce =
   (* On tiny instances, compare against brute-force over all job sequences
      decoded greedily; CP should never be worse than the best sequence. *)
@@ -573,6 +740,19 @@ let () =
           Alcotest.test_case "search limits" `Quick
             test_search_limits_honoured;
         ] );
+      ( "portfolio",
+        [
+          Alcotest.test_case "domains=1 identical to sequential" `Quick
+            test_portfolio_domains1_identical;
+          Alcotest.test_case "multi-domain no worse" `Quick
+            test_portfolio_multi_domain_no_worse;
+          Alcotest.test_case "seed shortcut spawns nothing" `Quick
+            test_portfolio_seed_shortcut;
+          Alcotest.test_case "proves optimality" `Quick
+            test_portfolio_proves_optimal;
+          Alcotest.test_case "tie-breaks agree on the optimum" `Quick
+            test_tie_breaks_agree;
+        ] );
       ( "direct formulation",
         [
           Alcotest.test_case "matches combined" `Quick
@@ -588,6 +768,7 @@ let () =
             prop_solution_feasible;
             prop_no_worse_than_greedy;
             prop_objective_at_least_lower_bound;
+            prop_portfolio_no_worse_than_sequential;
             prop_optimal_matches_bruteforce;
           ] );
     ]
