@@ -366,32 +366,39 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let portfolio_compare ~domains () =
+let portfolio_compare ~domains ~out () =
   let options =
     { Cp.Solver.default_options with Cp.Solver.time_limit = 2.0; seed = 42 }
   in
   let case name inst =
     let seq_sol, seq_stats = Cp.Solver.solve ~options inst in
     let par_sol, par_stats = Cp.Portfolio.solve ~domains ~options inst in
+    let nodes_per_sec nodes t =
+      if t > 0. then float_of_int nodes /. t else 0.
+    in
     let workers =
       par_stats.Cp.Portfolio.workers
       |> Array.map (fun (w : Cp.Portfolio.worker_stats) ->
              Printf.sprintf
-               {|{"strategy":"%s","late":%d,"nodes":%d,"failures":%d,"lns_moves":%d,"proved":%b}|}
+               {|{"strategy":"%s","late":%d,"nodes":%d,"failures":%d,"lns_moves":%d,"proved":%b,"elapsed_s":%.6f,"nodes_per_sec":%.1f}|}
                (json_escape w.Cp.Portfolio.strategy)
                w.Cp.Portfolio.w_late_jobs w.Cp.Portfolio.w_nodes
                w.Cp.Portfolio.w_failures w.Cp.Portfolio.w_lns_moves
-               w.Cp.Portfolio.w_proved)
+               w.Cp.Portfolio.w_proved w.Cp.Portfolio.w_elapsed
+               (nodes_per_sec w.Cp.Portfolio.w_nodes w.Cp.Portfolio.w_elapsed))
       |> Array.to_list |> String.concat ","
     in
     let seq_t = seq_stats.Cp.Solver.elapsed in
     let par_t = par_stats.Cp.Portfolio.base.Cp.Solver.elapsed in
     Printf.sprintf
-      {|{"case":"%s","seq":{"late":%d,"tardiness":%d,"nodes":%d,"elapsed_s":%.6f,"proved":%b},"portfolio":{"late":%d,"tardiness":%d,"nodes":%d,"elapsed_s":%.6f,"proved":%b,"winner":"%s","workers":[%s]},"speedup":%.3f}|}
+      {|{"case":"%s","seq":{"late":%d,"tardiness":%d,"nodes":%d,"elapsed_s":%.6f,"nodes_per_sec":%.1f,"proved":%b},"portfolio":{"late":%d,"tardiness":%d,"nodes":%d,"elapsed_s":%.6f,"nodes_per_sec":%.1f,"proved":%b,"winner":"%s","workers":[%s]},"speedup":%.3f}|}
       name seq_sol.Sched.Solution.late_jobs seq_sol.Sched.Solution.total_tardiness
-      seq_stats.Cp.Solver.nodes seq_t seq_stats.Cp.Solver.proved_optimal
+      seq_stats.Cp.Solver.nodes seq_t
+      (nodes_per_sec seq_stats.Cp.Solver.nodes seq_t)
+      seq_stats.Cp.Solver.proved_optimal
       par_sol.Sched.Solution.late_jobs par_sol.Sched.Solution.total_tardiness
       par_stats.Cp.Portfolio.base.Cp.Solver.nodes par_t
+      (nodes_per_sec par_stats.Cp.Portfolio.base.Cp.Solver.nodes par_t)
       par_stats.Cp.Portfolio.base.Cp.Solver.proved_optimal
       (json_escape par_stats.Cp.Portfolio.winner)
       workers
@@ -404,10 +411,20 @@ let portfolio_compare ~domains () =
       case "batch80" batch80_instance;
     ]
   in
-  Printf.printf
-    {|{"bench":"portfolio-compare","domains":%d,"cases":[%s]}|} domains
-    (String.concat "," cases);
-  print_newline ()
+  let json =
+    Printf.sprintf
+      {|{"bench":"portfolio-compare","domains":%d,"cases":[%s]}|} domains
+      (String.concat "," cases)
+  in
+  print_endline json;
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+  | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* driver                                                              *)
@@ -453,9 +470,10 @@ let print_group name results =
 let () =
   let argv = Sys.argv in
   if Array.exists (( = ) "--portfolio-compare") argv then begin
-    (* bench/main.exe --portfolio-compare [N]: sequential-vs-portfolio JSON *)
+    (* bench/main.exe --portfolio-compare [N] [--out FILE]:
+       sequential-vs-portfolio JSON, optionally also written to FILE *)
+    let n = Array.length argv in
     let domains =
-      let n = Array.length argv in
       let rec find i =
         if i >= n then Cp.Portfolio.recommended_domains ()
         else if argv.(i) = "--portfolio-compare" && i + 1 < n then
@@ -466,7 +484,15 @@ let () =
       in
       find 1
     in
-    portfolio_compare ~domains ()
+    let out =
+      let rec find i =
+        if i >= n then None
+        else if argv.(i) = "--out" && i + 1 < n then Some argv.(i + 1)
+        else find (i + 1)
+      in
+      find 1
+    in
+    portfolio_compare ~domains ~out ()
   end
   else begin
     Printf.printf

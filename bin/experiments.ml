@@ -31,7 +31,8 @@ let all_ids =
     "ablation-decomp";
   ]
 
-let run_ids ids reps jobs fb_jobs seed budget out validate lambdas =
+let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
+    metrics =
   let base =
     {
       Expkit.Runner.default_config with
@@ -39,8 +40,10 @@ let run_ids ids reps jobs fb_jobs seed budget out validate lambdas =
       base_seed = seed;
       solver_time_limit = budget;
       validate;
+      instrument = metrics;
     }
   in
+  if trace_out <> None then Obs.Trace.start ();
   List.iter
     (fun id ->
       if id = "ablation-decomp" then begin
@@ -83,6 +86,18 @@ let run_ids ids reps jobs fb_jobs seed budget out validate lambdas =
       let fig = figure_of_id config ~lambdas ~id in
       print_string (Expkit.Figures.render fig);
       Printf.printf "(generated in %.1fs)\n\n%!" (Unix.gettimeofday () -. t0);
+      if metrics then begin
+        match
+          List.filter_map
+            (fun p -> p.Expkit.Runner.metrics)
+            fig.Expkit.Figures.points
+        with
+        | [] -> ()
+        | snaps ->
+            print_string
+              (Report.Obs_report.summary (Obs.Metrics.merge_all snaps));
+            print_newline ()
+      end;
       match out with
       | Some dir ->
           (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -92,6 +107,14 @@ let run_ids ids reps jobs fb_jobs seed budget out validate lambdas =
       | None -> ()
       end)
     ids;
+  (match trace_out with
+  | Some path ->
+      Obs.Trace.stop ();
+      Obs.Trace.write ~path;
+      Printf.printf "trace: %d events written to %s\n"
+        (Obs.Trace.events_recorded ())
+        path
+  | None -> ());
   0
 
 let ids_arg =
@@ -127,17 +150,30 @@ let lambdas =
   Arg.(value & opt (list float) [ 0.0001; 0.0002; 0.0003; 0.0004; 0.0005 ]
        & info [ "lambdas" ] ~doc:"Arrival rates for the Facebook comparison.")
 
+let trace_out =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ]
+           ~doc:"Write a Chrome-trace-format JSON file covering every \
+                 figure run (open in chrome://tracing or Perfetto).")
+
+let metrics =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Instrument the solver and print the merged \
+                 counter/histogram and per-propagator tables per figure.")
+
 let cmd =
   let expand ids =
     List.concat_map (fun id -> if id = "all" then all_ids else [ id ]) ids
   in
   let term =
     Term.(
-      const (fun ids reps jobs fb_jobs seed budget out validate lambdas ->
+      const (fun ids reps jobs fb_jobs seed budget out validate lambdas
+                 trace_out metrics ->
           run_ids (expand ids) reps jobs fb_jobs seed budget out validate
-            lambdas)
+            lambdas trace_out metrics)
       $ ids_arg $ reps $ jobs $ fb_jobs $ seed $ budget $ out $ validate
-      $ lambdas)
+      $ lambdas $ trace_out $ metrics)
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")

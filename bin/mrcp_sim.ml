@@ -4,14 +4,23 @@
      dune exec bin/mrcp_sim.exe -- --jobs 100 --lambda 0.01 --manager mrcp-rm
      dune exec bin/mrcp_sim.exe -- --workload facebook --jobs 200 \
        --lambda 0.0003 --manager minedf-wc
-     dune exec bin/mrcp_sim.exe -- --jobs 50 --d-m 2 --validate -v *)
+     dune exec bin/mrcp_sim.exe -- --jobs 50 --d-m 2 --validate -v
+     dune exec bin/mrcp_sim.exe -- --jobs 40 --d-m 1.05 --metrics \
+       --trace run.jsonl *)
 
 open Cmdliner
 
 type workload = Synthetic | Facebook
 
+let print_metrics = function
+  | Some snap -> print_string (Report.Obs_report.summary snap)
+  | None ->
+      print_endline
+        "no metrics collected (manager without solver instrumentation)"
+
 let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
-    seed budget ordering domains deferral validate verbose trace =
+    seed budget ordering domains deferral validate verbose replay trace_out
+    metrics =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -30,9 +39,24 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
       solver_domains = domains;
       deferral_window = deferral;
       validate;
+      instrument = metrics;
     }
   in
-  match trace with
+  if trace_out <> None then Obs.Trace.start ();
+  let finish code =
+    (match trace_out with
+    | Some path ->
+        Obs.Trace.stop ();
+        Obs.Trace.write ~path;
+        Printf.printf "trace: %d events written to %s\n"
+          (Obs.Trace.events_recorded ())
+          path
+    | None -> ());
+    code
+  in
+  finish
+  @@
+  match replay with
   | Some path -> begin
       (* replay a saved trace (see bin/workload_gen.exe) on the given cluster *)
       match Mapreduce.Trace.load ~path with
@@ -49,7 +73,7 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
             | Expkit.Runner.Mrcp_rm | Expkit.Runner.Greedy_only ->
                 let solver =
                   { Cp.Solver.default_options with Cp.Solver.ordering;
-                    time_limit = budget; seed }
+                    time_limit = budget; seed; instrument = metrics }
                 in
                 Opensim.Driver.of_mrcp
                   (Mrcp.Manager.create ~cluster
@@ -77,6 +101,7 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
               Format.printf "utilization: map %.1f%%, reduce %.1f%%@."
                 (100. *. mu) (100. *. ru)
           | _ -> ());
+          if metrics then print_metrics r.Opensim.Simulator.metrics;
           0
     end
   | None ->
@@ -105,6 +130,7 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
     (Report.Table.render ~headers:Expkit.Runner.point_headers
        ~rows:[ Expkit.Runner.point_row point ]
        ());
+  if metrics then print_metrics point.Expkit.Runner.metrics;
   0
 
 let workload_conv =
@@ -159,8 +185,17 @@ let term =
     $ Arg.(value & flag & info [ "validate" ] ~doc:"Full feasibility oracle.")
     $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Verbose logging.")
     $ Arg.(value & opt (some string) None
+           & info [ "replay" ]
+               ~doc:"Replay a saved workload trace (CSV) instead of generating.")
+    $ Arg.(value & opt (some string) None
            & info [ "trace" ]
-               ~doc:"Replay a saved workload trace (CSV) instead of generating."))
+               ~doc:"Write a Chrome-trace-format JSON file of scheduler, \
+                     search and simulator spans (open in chrome://tracing or \
+                     Perfetto).")
+    $ Arg.(value & flag
+           & info [ "metrics" ]
+               ~doc:"Instrument the solver and print counter/histogram and \
+                     per-propagator fire/fail/time tables after the run."))
 
 let cmd =
   Cmd.v

@@ -51,6 +51,13 @@ type t = {
   mutable scheduled_jobs : int;
   mutable last_stats : Cp.Solver.stats option;
   mutable last_portfolio : Cp.Portfolio.stats option;
+  (* manager-level metrics (invocation counts/latency), allocated only when
+     [config.solver.instrument] is set *)
+  registry : Obs.Metrics.t option;
+  (* accumulated snapshots of every solve so far *)
+  mutable solver_metrics : Obs.Metrics.snapshot;
+  (* Σ N_j of the last installed plan, for the trace's late-job delta *)
+  mutable last_late : int;
 }
 
 let create ~cluster config =
@@ -71,6 +78,11 @@ let create ~cluster config =
     scheduled_jobs = 0;
     last_stats = None;
     last_portfolio = None;
+    registry =
+      (if config.solver.Cp.Solver.instrument then Some (Obs.Metrics.create ())
+       else None);
+    solver_metrics = Obs.Metrics.empty;
+    last_late = 0;
   }
 
 let due ~now t (job : T.job) =
@@ -176,6 +188,7 @@ let validate_plan dispatches frozen =
 let invoke t ~now =
   release_due t ~now;
   if not (Queue.is_empty t.queue) then begin
+    let span_ts = if Obs.Trace.enabled () then Some (Obs.Trace.now_us ()) else None in
     let t0 = Unix.gettimeofday () in
     (* absorb the job queue into the active set *)
     Queue.iter
@@ -278,6 +291,30 @@ let invoke t ~now =
     let elapsed = Unix.gettimeofday () -. t0 in
     if elapsed > t.max_invocation then t.max_invocation <- elapsed;
     t.overhead <- t.overhead +. elapsed;
+    let late = solution.Solution.late_jobs in
+    (match t.registry with
+    | Some r ->
+        Obs.Metrics.add (Obs.Metrics.counter r "manager/invocations") 1;
+        Obs.Metrics.observe (Obs.Metrics.histogram r "manager/invoke_s") elapsed;
+        Obs.Metrics.set_gauge (Obs.Metrics.gauge r "manager/late_jobs")
+          (float_of_int late);
+        t.solver_metrics <-
+          Obs.Metrics.merge t.solver_metrics (Obs.Solve_stats.to_metrics stats)
+    | None -> ());
+    (match span_ts with
+    | Some ts ->
+        Obs.Trace.complete ~cat:"manager" ~ts "invoke"
+          ~args:
+            [
+              ("now_ms", Obs.Trace.Int now);
+              ("active_jobs", Obs.Trace.Int (List.length t.active));
+              ( "pending_tasks",
+                Obs.Trace.Int (Sched.Instance.pending_task_count inst) );
+              ("late_jobs", Obs.Trace.Int late);
+              ("late_delta", Obs.Trace.Int (late - t.last_late));
+            ]
+    | None -> ());
+    t.last_late <- late;
     Log.debug (fun m ->
         m
           "invocation at %d: %d active jobs, %d pending tasks planned, %a,            %.4fs"
@@ -296,3 +333,8 @@ let jobs_scheduled t = t.scheduled_jobs
 let last_stats t = t.last_stats
 let last_solver_stats = last_stats
 let last_portfolio_stats t = t.last_portfolio
+
+let metrics t =
+  match t.registry with
+  | None -> None
+  | Some r -> Some (Obs.Metrics.merge (Obs.Metrics.snapshot r) t.solver_metrics)

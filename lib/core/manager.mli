@@ -90,3 +90,9 @@ val last_solver_stats : t -> Cp.Solver.stats option
 val last_portfolio_stats : t -> Cp.Portfolio.stats option
 (** Per-worker breakdown of the most recent solve; [None] until a solve has
     run with [config.domains > 1]. *)
+
+val metrics : t -> Obs.Metrics.snapshot option
+(** Accumulated telemetry over every invocation so far — manager-level
+    counters ([manager/*]) merged with the per-solve solver and propagator
+    metrics ([solver/*], [prop/*], [store/*]).  [None] unless the manager
+    was created with [config.solver.instrument = true]. *)

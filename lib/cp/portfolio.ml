@@ -99,6 +99,9 @@ let solve ?(domains = 1) ?(options = Solver.default_options)
           failures = 0;
           lns_moves = 0;
           elapsed = Unix.gettimeofday () -. t0;
+          metrics =
+            (if options.Solver.instrument then Some Obs.Metrics.empty
+             else None);
         }
       in
       ( seed_sol,
@@ -118,8 +121,14 @@ let solve ?(domains = 1) ?(options = Solver.default_options)
       let stop = Atomic.make false in
       let rec publish v =
         let cur = Atomic.get incumbent in
-        if v < cur && not (Atomic.compare_and_set incumbent cur v) then
-          publish v
+        if v < cur then begin
+          if Atomic.compare_and_set incumbent cur v then begin
+            if Obs.Trace.enabled () then
+              Obs.Trace.instant ~cat:"portfolio" "incumbent"
+                ~args:[ ("late", Obs.Trace.Int v) ]
+          end
+          else publish v
+        end
       in
       let worker i () =
         let opts, name, isolated = strategy options i in
@@ -131,7 +140,10 @@ let solve ?(domains = 1) ?(options = Solver.default_options)
             isolated;
           }
         in
-        let sol, s = Solver.solve_linked ~options:opts ~link inst in
+        let sol, s =
+          Obs.Trace.with_span ~cat:"portfolio" ("worker:" ^ name) (fun () ->
+              Solver.solve_linked ~options:opts ~link inst)
+        in
         if s.Solver.proved_optimal then Atomic.set stop true;
         (name, sol, s)
       in
@@ -179,6 +191,13 @@ let solve ?(domains = 1) ?(options = Solver.default_options)
             List.exists (fun (_, _, s) -> s.Solver.proved_optimal) results
             || best_sol.Solution.late_jobs <= lb
           in
+          let metrics =
+            match
+              List.filter_map (fun (_, _, s) -> s.Solver.metrics) results
+            with
+            | [] -> None
+            | snaps -> Some (Obs.Metrics.merge_all snaps)
+          in
           let base =
             {
               Solver.seed_late;
@@ -188,6 +207,7 @@ let solve ?(domains = 1) ?(options = Solver.default_options)
               failures = sum (fun s -> s.Solver.failures);
               lns_moves = sum (fun s -> s.Solver.lns_moves);
               elapsed = Unix.gettimeofday () -. t0;
+              metrics;
             }
           in
           (best_sol, { base; workers; winner = best_name; domains_used = domains })

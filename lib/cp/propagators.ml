@@ -2,7 +2,7 @@ type term = { start : Store.var; duration : int; demand : int }
 
 let ge_offset s y x c =
   let pid =
-    Store.register s ~priority:0 (fun s ->
+    Store.register s ~priority:0 ~name:"ge_offset" (fun s ->
         Store.set_min s y (Store.min_of s x + c);
         Store.set_max s x (Store.max_of s y - c))
   in
@@ -17,14 +17,14 @@ let max_of s ~result ~terms ~floor =
   | [] ->
       (* result is the constant floor *)
       let pid =
-        Store.register s ~priority:0 (fun s ->
+        Store.register s ~priority:0 ~name:"max_of" (fun s ->
             Store.set_min s result floor;
             Store.set_max s result floor)
       in
       Store.schedule s pid
   | _ ->
       let pid =
-        Store.register s ~priority:1 (fun s ->
+        Store.register s ~priority:1 ~name:"max_of" (fun s ->
             (* result >= every term and >= floor *)
             Store.set_min s result floor;
             let max_min = ref floor and max_max = ref floor in
@@ -46,7 +46,7 @@ let max_of s ~result ~terms ~floor =
 
 let lateness s ~late ~completion ~deadline =
   let pid =
-    Store.register s ~priority:0 (fun s ->
+    Store.register s ~priority:0 ~name:"lateness" (fun s ->
         if Store.min_of s completion > deadline then Store.set_min s late 1;
         if Store.max_of s late = 0 then Store.set_max s completion deadline;
         if Store.max_of s completion <= deadline then Store.set_max s late 0)
@@ -58,7 +58,7 @@ let lateness s ~late ~completion ~deadline =
 let sum_lt_bound s ~vars ~bound =
   let pid_ref = ref None in
   let pid =
-    Store.register s ~priority:0 (fun s ->
+    Store.register s ~priority:0 ~name:"sum_lt_bound" (fun s ->
         let sum_min = Array.fold_left (fun acc v -> acc + Store.min_of s v) 0 vars in
         if sum_min >= !bound then raise (Store.Fail "objective bound");
         if sum_min = !bound - 1 then
@@ -177,7 +177,7 @@ let cumulative s ~tasks ~fixed ~capacity =
       done
     end
   in
-  let pid = Store.register s ~priority:2 run in
+  let pid = Store.register s ~priority:2 ~name:"cumulative" run in
   Array.iter (fun t -> Store.watch s t.start pid) tasks;
   Store.schedule s pid
 
@@ -259,7 +259,7 @@ let cumulative_gated s ~tasks ~capacity =
         end
       done
   in
-  let pid = Store.register s ~priority:2 run in
+  let pid = Store.register s ~priority:2 ~name:"cumulative_gated" run in
   Array.iter
     (fun t ->
       Store.watch s t.g_start pid;

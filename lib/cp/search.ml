@@ -50,11 +50,26 @@ type 'a state = {
   problem : 'a problem;
   limits : limits;
   tie_break : tie_break;
+  (* [Obs.Trace.enabled] sampled once per search, so the hot path tests a
+     plain immutable bool instead of an atomic. *)
+  tracing : bool;
   mutable best : 'a option;
   mutable nodes : int;
   mutable failures : int;
   mutable ticks : int;  (* countdown to the next wall-clock check *)
 }
+
+(* The closures below are only allocated on the tracing branch, so the
+   untraced path is exactly the direct call. *)
+let propagate_st st s =
+  if st.tracing then
+    Obs.Trace.with_span ~cat:"search" "propagate" (fun () -> Store.propagate s)
+  else Store.propagate s
+
+let backtrack_st st s =
+  if st.tracing then
+    Obs.Trace.with_span ~cat:"search" "backtrack" (fun () -> Store.backtrack s)
+  else Store.backtrack s
 
 let check_limits st =
   if st.limits.node_limit > 0 && st.nodes >= st.limits.node_limit then
@@ -175,46 +190,67 @@ and branch st postponed ~left ~right =
        f ();
        (* the incumbent bound may have moved: re-check the objective cut *)
        Store.schedule s st.problem.bound_pid;
-       Store.propagate s;
+       propagate_st st s;
        dfs st postponed
      with Store.Fail _ -> st.failures <- st.failures + 1);
-    Store.backtrack s
+    backtrack_st st s
   in
-  attempt left;
-  attempt right
+  if st.tracing then begin
+    Obs.Trace.with_span ~cat:"search" "branch" (fun () -> attempt left);
+    Obs.Trace.with_span ~cat:"search" "branch" (fun () -> attempt right)
+  end
+  else begin
+    attempt left;
+    attempt right
+  end
 
 (* Left changes the store; right only updates the postponed bookkeeping (no
    store change, hence no propagation and no new level needed). *)
 and branch_asym st postponed ~left ~right =
   let s = st.problem.store in
-  Store.push_level s;
-  (try
-     left ();
-     Store.schedule s st.problem.bound_pid;
-     Store.propagate s;
-     dfs st postponed
-   with Store.Fail _ -> st.failures <- st.failures + 1);
-  Store.backtrack s;
+  let attempt () =
+    Store.push_level s;
+    (try
+       left ();
+       Store.schedule s st.problem.bound_pid;
+       propagate_st st s;
+       dfs st postponed
+     with Store.Fail _ -> st.failures <- st.failures + 1);
+    backtrack_st st s
+  in
+  if st.tracing then Obs.Trace.with_span ~cat:"search" "branch" attempt
+  else attempt ();
   let postponed' = Array.copy postponed in
   right postponed'
 
 let run_problem ?(tie_break = Slack_first) problem limits =
+  let tracing = Obs.Trace.enabled () in
+  let t0 = if tracing then Obs.Trace.now_us () else 0. in
   let st =
-    { problem; limits; tie_break; best = None; nodes = 0; failures = 0;
-      ticks = 1 }
+    { problem; limits; tie_break; tracing; best = None; nodes = 0;
+      failures = 0; ticks = 1 }
   in
   let s = problem.store in
   let postponed = Array.make (Array.length problem.starts) min_int in
   let proved_optimal =
     try
       (try
-         Store.propagate s;
+         propagate_st st s;
          dfs st postponed
        with Store.Fail _ -> st.failures <- st.failures + 1);
       true
     with Limit_reached -> false
   in
   Store.backtrack_to_root s;
+  if tracing then
+    Obs.Trace.complete ~cat:"search" ~ts:t0 "search"
+      ~args:
+        [
+          ("nodes", Obs.Trace.Int st.nodes);
+          ("failures", Obs.Trace.Int st.failures);
+          ("proved_optimal", Obs.Trace.Bool proved_optimal);
+          ("tie_break", Obs.Trace.Str (tie_break_to_string tie_break));
+        ];
   { best = st.best; proved_optimal; nodes = st.nodes; failures = st.failures }
 
 (* --- MapReduce-model entry point -------------------------------------- *)

@@ -12,6 +12,7 @@ type options = {
   lns_max_stall : int;
   seed : int;
   tie_break : Search.tie_break;
+  instrument : bool;
 }
 
 let default_options =
@@ -24,6 +25,7 @@ let default_options =
     lns_max_stall = 12;
     seed = 0;
     tie_break = Search.Slack_first;
+    instrument = false;
   }
 
 (* Hooks a portfolio coordinator installs so concurrent workers share the
@@ -46,7 +48,7 @@ let null_link =
     isolated = true;
   }
 
-type stats = {
+type stats = Obs.Solve_stats.t = {
   seed_late : int;
   lower_bound : int;
   proved_optimal : bool;
@@ -54,14 +56,10 @@ type stats = {
   failures : int;
   lns_moves : int;
   elapsed : float;
+  metrics : Obs.Metrics.snapshot option;
 }
 
-let pp_stats fmt s =
-  Format.fprintf fmt
-    "cp-stats<seed_late=%d lb=%d optimal=%b nodes=%d fails=%d lns=%d \
-     t=%.4fs>"
-    s.seed_late s.lower_bound s.proved_optimal s.nodes s.failures s.lns_moves
-    s.elapsed
+let pp_stats = Obs.Solve_stats.pp
 
 (* Wave-based lower bound on the span of a task set under a capacity:
    no schedule can beat the longest task, nor total-work/capacity. *)
@@ -178,14 +176,40 @@ let merge_starts (inst : Instance.t) (incumbent : Solution.t)
   Hashtbl.iter (Hashtbl.replace merged) partial.Solution.starts;
   Solution.evaluate inst merged
 
-let run_exact ?tie_break inst ~bound_to_beat ~limits =
+(* Drain a searched store's per-propagator telemetry into the registry. *)
+let harvest_store registry store =
+  Obs.Metrics.add (Obs.Metrics.counter registry "store/propagations")
+    (Store.stats_propagations store);
+  List.iter
+    (fun (pm : Store.prop_metric) ->
+      let pfx = "prop/" ^ pm.Store.prop_name in
+      Obs.Metrics.add (Obs.Metrics.counter registry (pfx ^ "/fires"))
+        pm.Store.fires;
+      Obs.Metrics.add (Obs.Metrics.counter registry (pfx ^ "/fails"))
+        pm.Store.fails;
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram registry (pfx ^ "/time_s"))
+        pm.Store.time_s)
+    (Store.propagator_metrics store)
+
+let run_exact ?tie_break ?registry inst ~bound_to_beat ~limits =
   let model = Model.build inst ~horizon:(Model.default_horizon inst) in
   model.Model.bound := bound_to_beat;
-  Search.run ?tie_break model limits
+  (match registry with
+  | Some _ -> Store.set_instrumented model.Model.store true
+  | None -> ());
+  let outcome = Search.run ?tie_break model limits in
+  (match registry with
+  | Some r -> harvest_store r model.Model.store
+  | None -> ());
+  outcome
 
 let solve_linked ~options ~link (inst : Instance.t) =
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. options.time_limit in
+  let registry =
+    if options.instrument then Some (Obs.Metrics.create ()) else None
+  in
   let seed_sol = greedy_seed ~ordering:options.ordering inst in
   let lb = late_lower_bound inst in
   link.announce seed_sol.Solution.late_jobs;
@@ -200,6 +224,7 @@ let solve_linked ~options ~link (inst : Instance.t) =
         failures = !failures;
         lns_moves = !lns_moves;
         elapsed = Unix.gettimeofday () -. t0;
+        metrics = Option.map Obs.Metrics.snapshot registry;
       } )
   in
   if seed_sol.Solution.late_jobs <= lb then finish seed_sol true
@@ -218,7 +243,7 @@ let solve_linked ~options ~link (inst : Instance.t) =
         }
       in
       let outcome =
-        run_exact ~tie_break:options.tie_break inst
+        run_exact ~tie_break:options.tie_break ?registry inst
           ~bound_to_beat:seed_sol.Solution.late_jobs ~limits
       in
       nodes := outcome.Search.nodes;
@@ -279,7 +304,15 @@ let solve_linked ~options ~link (inst : Instance.t) =
           else min !incumbent.Solution.late_jobs (link.global_bound ())
         in
         let outcome =
-          run_exact ~tie_break:options.tie_break sub ~bound_to_beat ~limits
+          if Obs.Trace.enabled () then
+            Obs.Trace.with_span ~cat:"search" "lns-move"
+              ~args:[ ("relaxed_jobs", Obs.Trace.Int (Hashtbl.length relax_set)) ]
+              (fun () ->
+                run_exact ~tie_break:options.tie_break ?registry sub
+                  ~bound_to_beat ~limits)
+          else
+            run_exact ~tie_break:options.tie_break ?registry sub ~bound_to_beat
+              ~limits
         in
         nodes := !nodes + outcome.Search.nodes;
         failures := !failures + outcome.Search.failures;

@@ -28,11 +28,17 @@ type options = {
   tie_break : Search.tie_break;
       (** SetTimes branching tie-break (default {!Search.Slack_first}); the
           portfolio diversifies its B&B workers along this axis *)
+  instrument : bool;
+      (** collect per-propagator fire/fail/time metrics into
+          [stats.metrics] (default [false]).  Metering never changes
+          pruning, so the search trajectory is identical either way. *)
 }
 
 val default_options : options
 
-type stats = {
+(** Re-export of the repo-wide solver-telemetry record
+    ({!Obs.Solve_stats.t}) — the same fields, same type. *)
+type stats = Obs.Solve_stats.t = {
   seed_late : int;  (** late jobs in the greedy seed *)
   lower_bound : int;
   proved_optimal : bool;
@@ -40,6 +46,8 @@ type stats = {
   failures : int;
   lns_moves : int;
   elapsed : float;  (** wall-clock seconds spent *)
+  metrics : Obs.Metrics.snapshot option;
+      (** [Some] iff [options.instrument] was set *)
 }
 
 type link = {

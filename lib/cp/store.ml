@@ -41,6 +41,15 @@ and t = {
   trail_values : Vec.t;
   level_marks : Vec.t;
   mutable propagations : int;
+  (* Per-propagator telemetry, off by default: the propagation loop guards on
+     the single [instrumented] bool, so the uninstrumented hot path costs one
+     load.  All state lives in this record (store.mli's domain-locality
+     contract), so portfolio workers meter their own stores independently. *)
+  mutable instrumented : bool;
+  mutable prop_names : string array;
+  mutable prop_fires : int array;
+  mutable prop_fails : int array;
+  mutable prop_time : float array; (* seconds, per propagator *)
 }
 
 let create () =
@@ -56,6 +65,11 @@ let create () =
     trail_values = Vec.create ();
     level_marks = Vec.create ();
     propagations = 0;
+    instrumented = false;
+    prop_names = Array.make 16 "";
+    prop_fires = Array.make 16 0;
+    prop_fails = Array.make 16 0;
+    prop_time = Array.make 16 0.;
   }
 
 let grow_watchers a len n =
@@ -124,21 +138,42 @@ let fix t v x =
   set_min t v x;
   set_max t v x
 
-let register t ?(priority = 1) run =
+let register t ?(priority = 1) ?(name = "anon") run =
   if priority < 0 || priority > 2 then
     invalid_arg "Store.register: priority must be 0, 1 or 2";
   let id = t.nprops in
   if id = Array.length t.props then begin
-    let props' = Array.make (2 * id) t.props.(0) in
-    Array.blit t.props 0 props' 0 id;
-    t.props <- props'
+    let grow a fill =
+      let a' = Array.make (2 * id) fill in
+      Array.blit a 0 a' 0 id;
+      a'
+    in
+    t.props <- grow t.props t.props.(0);
+    t.prop_names <- grow t.prop_names "";
+    t.prop_fires <- grow t.prop_fires 0;
+    t.prop_fails <- grow t.prop_fails 0;
+    t.prop_time <- grow t.prop_time 0.
   end;
   t.props.(id) <- { run; priority; queued = false };
+  t.prop_names.(id) <- name;
   t.nprops <- id + 1;
   id
 
 let watch t v pid = t.watchers.(v) <- pid :: t.watchers.(v)
 let schedule = enqueue
+
+let run_metered t pid p =
+  t.prop_fires.(pid) <- t.prop_fires.(pid) + 1;
+  let t0 = Unix.gettimeofday () in
+  let record () =
+    t.prop_time.(pid) <- t.prop_time.(pid) +. (Unix.gettimeofday () -. t0)
+  in
+  match p.run t with
+  | () -> record ()
+  | exception e ->
+      t.prop_fails.(pid) <- t.prop_fails.(pid) + 1;
+      record ();
+      raise e
 
 let propagate t =
   let rec next_pid () =
@@ -153,7 +188,7 @@ let propagate t =
         let p = t.props.(pid) in
         p.queued <- false;
         t.propagations <- t.propagations + 1;
-        p.run t;
+        if t.instrumented then run_metered t pid p else p.run t;
         loop ()
   in
   try loop ()
@@ -194,3 +229,30 @@ let backtrack_to_root t =
 
 let num_vars t = t.nvars
 let stats_propagations t = t.propagations
+let set_instrumented t on = t.instrumented <- on
+let instrumented t = t.instrumented
+
+type prop_metric = {
+  prop_name : string;
+  fires : int;
+  fails : int;
+  time_s : float;
+}
+
+let propagator_metrics t =
+  let by_name = Hashtbl.create 16 in
+  for pid = 0 to t.nprops - 1 do
+    let name = t.prop_names.(pid) in
+    let fires, fails, time_s =
+      Option.value (Hashtbl.find_opt by_name name) ~default:(0, 0, 0.)
+    in
+    Hashtbl.replace by_name name
+      ( fires + t.prop_fires.(pid),
+        fails + t.prop_fails.(pid),
+        time_s +. t.prop_time.(pid) )
+  done;
+  Hashtbl.fold
+    (fun prop_name (fires, fails, time_s) acc ->
+      { prop_name; fires; fails; time_s } :: acc)
+    by_name []
+  |> List.sort (fun a b -> compare a.prop_name b.prop_name)

@@ -46,11 +46,13 @@ val fix : t -> var -> int -> unit
 
 type propagator_id
 
-val register : t -> ?priority:int -> (t -> unit) -> propagator_id
+val register : t -> ?priority:int -> ?name:string -> (t -> unit) -> propagator_id
 (** Add a propagator.  Lower [priority] runs first (default 1; use 0 for
     cheap binary constraints, 2 for heavy global constraints).  The function
     is called with the store and must prune via [set_min]/[set_max] or raise
-    {!Fail}. *)
+    {!Fail}.  [name] (default ["anon"]) labels the propagator in
+    {!propagator_metrics}; instances registered under the same name are
+    aggregated. *)
 
 val watch : t -> var -> propagator_id -> unit
 (** Enqueue the propagator whenever the variable's bounds change. *)
@@ -77,3 +79,25 @@ val backtrack_to_root : t -> unit
 val num_vars : t -> int
 val stats_propagations : t -> int
 (** Number of propagator executions so far (for benchmarks). *)
+
+(** {2 Per-propagator telemetry}
+
+    Off by default.  When enabled via {!set_instrumented}, the propagation
+    loop counts each propagator's executions ([fires]), {!Fail}s raised
+    ([fails]) and cumulative wall time.  The only cost on the uninstrumented
+    path is a single bool load per propagator execution, and instrumentation
+    never changes pruning, so search trajectories are identical either way. *)
+
+val set_instrumented : t -> bool -> unit
+val instrumented : t -> bool
+
+type prop_metric = {
+  prop_name : string;  (** the [name] given at {!register} time *)
+  fires : int;
+  fails : int;
+  time_s : float;
+}
+
+val propagator_metrics : t -> prop_metric list
+(** Telemetry aggregated over propagator instances sharing a name, sorted by
+    name.  All-zero entries are included (one per registered name). *)

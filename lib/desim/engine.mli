@@ -40,3 +40,8 @@ val run : ?until:int -> t -> unit
     next event would fire strictly after [h]; events at exactly [h] run. *)
 
 val run_until_empty : t -> unit
+
+val events_executed : t -> int
+(** Events fired since {!create}.  When tracing is enabled the engine also
+    emits a ["sim-clock"] counter series (virtual clock and queue depth)
+    every 4096 events, correlating simulated time with wall time. *)

@@ -20,6 +20,7 @@ type config = {
   solver_domains : int;
   deferral_window : int option;
   validate : bool;
+  instrument : bool;
 }
 
 let default_config =
@@ -33,6 +34,7 @@ let default_config =
     solver_domains = 1;
     deferral_window = Some 300_000;
     validate = false;
+    instrument = false;
   }
 
 type point = {
@@ -46,6 +48,7 @@ type point = {
   t_mean : float;
   solves_mean : float;
   elapsed_s : float;
+  metrics : Obs.Metrics.snapshot option;
 }
 
 let make_driver config cluster ~seed =
@@ -57,6 +60,7 @@ let make_driver config cluster ~seed =
           Cp.Solver.ordering = config.ordering;
           time_limit = config.solver_time_limit;
           seed;
+          instrument = config.instrument;
         }
       in
       let solver =
@@ -115,6 +119,10 @@ let summarize ~label ~config ~elapsed results =
     solves_mean =
       mean (metric (fun r -> float_of_int r.Sim.solves));
     elapsed_s = elapsed;
+    metrics =
+      (match List.filter_map (fun r -> r.Sim.metrics) results with
+      | [] -> None
+      | snaps -> Some (Obs.Metrics.merge_all snaps));
   }
 
 let replicate ~label ~config ~make_jobs ~cluster =

@@ -26,6 +26,9 @@ type config = {
           the deterministic sequential solver *)
   deferral_window : int option;  (** §V.E, ms *)
   validate : bool;
+  instrument : bool;
+      (** collect solver/propagator metrics into [point.metrics] (MRCP-RM
+          managers only) *)
 }
 
 val default_config : config
@@ -43,6 +46,8 @@ type point = {
   t_mean : float;
   solves_mean : float;
   elapsed_s : float;  (** wall-clock cost of producing this point *)
+  metrics : Obs.Metrics.snapshot option;
+      (** merged over replications; [None] unless [config.instrument] *)
 }
 
 val run_synthetic :

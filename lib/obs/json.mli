@@ -1,0 +1,20 @@
+(** Minimal JSON emission for the observability layer (trace files and
+    metrics snapshots).  Emission only — parsing lives in whatever consumes
+    the files (chrome://tracing, Perfetto, jq, CI scripts). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values are emitted as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Backslash-escape quotes, backslashes and control characters. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_buffer : Buffer.t -> t -> unit

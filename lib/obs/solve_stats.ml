@@ -1,0 +1,30 @@
+type t = {
+  seed_late : int;
+  lower_bound : int;
+  proved_optimal : bool;
+  nodes : int;
+  failures : int;
+  lns_moves : int;
+  elapsed : float;
+  metrics : Metrics.snapshot option;
+}
+
+let pp fmt s =
+  Format.fprintf fmt
+    "cp-stats<seed_late=%d lb=%d optimal=%b nodes=%d fails=%d lns=%d \
+     t=%.4fs>"
+    s.seed_late s.lower_bound s.proved_optimal s.nodes s.failures s.lns_moves
+    s.elapsed
+
+let to_metrics s =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "solver/solves") 1;
+  Metrics.add (Metrics.counter m "solver/nodes") s.nodes;
+  Metrics.add (Metrics.counter m "solver/failures") s.failures;
+  Metrics.add (Metrics.counter m "solver/lns_moves") s.lns_moves;
+  if s.proved_optimal then Metrics.add (Metrics.counter m "solver/proofs") 1;
+  Metrics.observe (Metrics.histogram m "solver/solve_s") s.elapsed;
+  let base = Metrics.snapshot m in
+  match s.metrics with
+  | None -> base
+  | Some inner -> Metrics.merge base inner

@@ -1,0 +1,26 @@
+(** The canonical solver-telemetry record.
+
+    One solve — whether the MapReduce solver ({!Cp.Solver}), a portfolio
+    worker ({!Cp.Portfolio}) or the DAG-workflow solver ({!Workflow.Solve})
+    — reports this shape; those modules re-export it (OCaml's
+    [type t = Obs.Solve_stats.t = {...}] idiom) rather than each declaring
+    its own copy of the node/failure/LNS fields. *)
+
+type t = {
+  seed_late : int;  (** late jobs in the greedy seed *)
+  lower_bound : int;  (** provable lower bound on Σ N_j *)
+  proved_optimal : bool;
+  nodes : int;  (** branch-and-bound nodes explored *)
+  failures : int;  (** search failures (dead ends) *)
+  lns_moves : int;  (** large-neighbourhood moves attempted (0: pure B&B) *)
+  elapsed : float;  (** wall-clock seconds spent *)
+  metrics : Metrics.snapshot option;
+      (** per-propagator and solver metrics; [None] unless the solve ran
+          with instrumentation enabled *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val to_metrics : t -> Metrics.snapshot
+(** The record's scalar fields as a snapshot (counters [solver/*]), merged
+    over [metrics] when present — the machine-readable payload. *)

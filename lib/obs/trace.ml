@@ -1,0 +1,188 @@
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type event = {
+  name : string;
+  cat : string;
+  ph : char;  (* 'X' complete, 'i' instant, 'C' counter *)
+  ts : float;  (* µs since trace start *)
+  dur : float;  (* µs; complete events only *)
+  args : (string * arg) list;
+}
+
+(* Per-domain sink: only its owning domain ever touches [events]/[count], so
+   recording is lock-free.  The sink list itself is touched under a mutex,
+   but only once per domain (at first access) and at start/dump time, which
+   happen on the coordinating domain while no worker is recording. *)
+type sink = {
+  tid : int;
+  mutable events : event list;  (* newest first *)
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let enabled_flag = Atomic.make false
+let origin = Atomic.make 0.
+let event_limit = Atomic.make (1 lsl 20)
+let sinks : sink list ref = ref []
+let sinks_mu = Mutex.create ()
+
+let sink_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        { tid = (Domain.self () :> int); events = []; count = 0; dropped = 0 }
+      in
+      Mutex.lock sinks_mu;
+      sinks := s :: !sinks;
+      Mutex.unlock sinks_mu;
+      s)
+
+let enabled () = Atomic.get enabled_flag
+
+let start ?(limit = 1 lsl 20) () =
+  Atomic.set enabled_flag false;
+  Mutex.lock sinks_mu;
+  List.iter
+    (fun s ->
+      s.events <- [];
+      s.count <- 0;
+      s.dropped <- 0)
+    !sinks;
+  Mutex.unlock sinks_mu;
+  Atomic.set event_limit limit;
+  Atomic.set origin (Unix.gettimeofday ());
+  Atomic.set enabled_flag true
+
+let stop () = Atomic.set enabled_flag false
+
+let now_us () = (Unix.gettimeofday () -. Atomic.get origin) *. 1e6
+
+let emit ev =
+  let s = Domain.DLS.get sink_key in
+  if s.count >= Atomic.get event_limit then s.dropped <- s.dropped + 1
+  else begin
+    s.events <- ev :: s.events;
+    s.count <- s.count + 1
+  end
+
+let with_span ?(cat = "app") ?(args = []) name f =
+  if not (enabled ()) then f ()
+  else begin
+    let t0 = now_us () in
+    let finish () =
+      emit { name; cat; ph = 'X'; ts = t0; dur = now_us () -. t0; args }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let complete ?(cat = "app") ?(args = []) ~ts name =
+  if enabled () then
+    emit { name; cat; ph = 'X'; ts; dur = now_us () -. ts; args }
+
+let instant ?(cat = "app") ?(args = []) name =
+  if enabled () then
+    emit { name; cat; ph = 'i'; ts = now_us (); dur = 0.; args }
+
+let counter ?(cat = "app") name series =
+  if enabled () then
+    emit
+      {
+        name;
+        cat;
+        ph = 'C';
+        ts = now_us ();
+        dur = 0.;
+        args = List.map (fun (k, v) -> (k, Float v)) series;
+      }
+
+let collect () =
+  Mutex.lock sinks_mu;
+  let snap = !sinks in
+  Mutex.unlock sinks_mu;
+  snap
+
+let events_recorded () =
+  List.fold_left (fun acc s -> acc + s.count) 0 (collect ())
+
+let json_of_arg = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.String s
+  | Bool b -> Json.Bool b
+
+let json_of_event tid e =
+  let base =
+    [
+      ("name", Json.String e.name);
+      ("cat", Json.String e.cat);
+      ("ph", Json.String (String.make 1 e.ph));
+      ("ts", Json.Float e.ts);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+    ]
+  in
+  let base = if e.ph = 'X' then base @ [ ("dur", Json.Float e.dur) ] else base in
+  let base = if e.ph = 'i' then base @ [ ("s", Json.String "t") ] else base in
+  let base =
+    match e.args with
+    | [] -> base
+    | args ->
+        base
+        @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) args)) ]
+  in
+  Json.Obj base
+
+let dump_string () =
+  let snaps = collect () in
+  let all =
+    List.concat_map (fun s -> List.rev_map (fun e -> (s.tid, e)) s.events) snaps
+  in
+  let all =
+    List.stable_sort (fun (_, a) (_, b) -> Float.compare a.ts b.ts) all
+  in
+  let dropped = List.fold_left (fun acc s -> acc + s.dropped) 0 snaps in
+  let b = Buffer.create (4096 + (128 * List.length all)) in
+  Buffer.add_string b "[\n";
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.String "mrcp-rm") ]);
+      ]
+  in
+  Json.to_buffer b meta;
+  if dropped > 0 then begin
+    Buffer.add_string b ",\n";
+    Json.to_buffer b
+      (Json.Obj
+         [
+           ("name", Json.String "events_dropped");
+           ("ph", Json.String "M");
+           ("pid", Json.Int 1);
+           ("args", Json.Obj [ ("dropped", Json.Int dropped) ]);
+         ])
+  end;
+  List.iter
+    (fun (tid, e) ->
+      Buffer.add_string b ",\n";
+      Json.to_buffer b (json_of_event tid e))
+    all;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let write ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (dump_string ()))

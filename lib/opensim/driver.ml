@@ -12,6 +12,7 @@ type t = {
   overhead_seconds : unit -> float;
   max_invocation_seconds : unit -> float;
   solve_count : unit -> int;
+  metrics : unit -> Obs.Metrics.snapshot option;
   description : string;
 }
 
@@ -35,6 +36,7 @@ let of_mrcp mgr =
     max_invocation_seconds =
       (fun () -> Mrcp.Manager.max_invocation_seconds mgr);
     solve_count = (fun () -> Mrcp.Manager.solve_count mgr);
+    metrics = (fun () -> Mrcp.Manager.metrics mgr);
     description =
       "CP-based matchmaking and scheduling (paper Table 2), re-planning \
        unstarted tasks at every arrival";
@@ -55,5 +57,6 @@ let of_slot_scheduler sched =
       (fun () -> Baselines.Slot_scheduler.overhead_seconds sched);
     max_invocation_seconds = (fun () -> 0.);
     solve_count = (fun () -> 0);
+    metrics = (fun () -> None);
     description = "slot-based dynamic scheduler";
   }

@@ -30,6 +30,9 @@ type t = {
   max_invocation_seconds : unit -> float;
       (** longest single scheduling pass (0 when not tracked) *)
   solve_count : unit -> int;
+  metrics : unit -> Obs.Metrics.snapshot option;
+      (** accumulated manager/solver telemetry ({!Mrcp.Manager.metrics});
+          [None] for managers without instrumentation *)
   description : string;
 }
 

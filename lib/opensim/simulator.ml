@@ -26,6 +26,8 @@ type results = {
   reduce_busy_ms : int;
   map_utilization : float option;
   reduce_utilization : float option;
+  events_executed : int;
+  metrics : Obs.Metrics.snapshot option;
 }
 
 type job_progress = {
@@ -107,7 +109,15 @@ let rec on_task_complete st (d : Dispatch.t) sim =
         turnaround_ms = now - jp.j.T.earliest_start;
       }
     in
-    st.outcomes <- outcome :: st.outcomes
+    st.outcomes <- outcome :: st.outcomes;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~cat:"sim" "job-done"
+        ~args:
+          [
+            ("job", Obs.Trace.Int jp.j.T.id);
+            ("late", Obs.Trace.Bool outcome.late);
+            ("completion_ms", Obs.Trace.Int now);
+          ]
   end;
   st.driver.Driver.task_completed ~now ~task_id:task.T.task_id;
   react st sim
@@ -242,10 +252,15 @@ let run ?(validate = false) ?cluster ~driver ~jobs () =
         };
       ignore
         (Engine.schedule engine ~at:job.T.arrival (fun sim ->
+             if Obs.Trace.enabled () then
+               Obs.Trace.instant ~cat:"sim" "job-arrival"
+                 ~args:[ ("job", Obs.Trace.Int job.T.id) ];
              st.driver.Driver.submit ~now:(Engine.now sim) job;
              react st sim)))
     jobs;
-  Engine.run_until_empty engine;
+  Obs.Trace.with_span ~cat:"sim" "simulate"
+    ~args:[ ("jobs", Obs.Trace.Int (List.length jobs)) ]
+    (fun () -> Engine.run_until_empty engine);
   let jobs_total = List.length jobs in
   let done_total = List.length st.outcomes in
   if done_total <> jobs_total then
@@ -287,6 +302,8 @@ let run ?(validate = false) ?cluster ~driver ~jobs () =
       utilization cluster T.total_map_slots st.map_busy_ms makespan_ms;
     reduce_utilization =
       utilization cluster T.total_reduce_slots st.reduce_busy_ms makespan_ms;
+    events_executed = Engine.events_executed engine;
+    metrics = driver.Driver.metrics ();
   }
 
 let pp_results fmt r =

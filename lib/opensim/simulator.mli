@@ -42,6 +42,10 @@ type results = {
   map_utilization : float option;
       (** busy slot-time / (map slots × makespan); requires [~cluster] *)
   reduce_utilization : float option;
+  events_executed : int;  (** discrete events fired by the engine *)
+  metrics : Obs.Metrics.snapshot option;
+      (** the driver's accumulated telemetry; [None] unless the manager ran
+          with instrumentation enabled *)
 }
 
 val run :

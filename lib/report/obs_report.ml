@@ -1,0 +1,82 @@
+module M = Obs.Metrics
+
+let prop_names (snap : M.snapshot) =
+  List.filter_map
+    (fun (name, _) ->
+      match String.split_on_char '/' name with
+      | [ "prop"; p; "fires" ] -> Some p
+      | _ -> None)
+    snap.M.counters
+
+let propagator_table (snap : M.snapshot) =
+  match prop_names snap with
+  | [] -> None
+  | names ->
+      let rows =
+        List.map
+          (fun p ->
+            let find suffix =
+              Option.value (M.find_counter snap ("prop/" ^ p ^ "/" ^ suffix))
+                ~default:0
+            in
+            let fires = find "fires" and fails = find "fails" in
+            let time_s =
+              match M.find_histo snap ("prop/" ^ p ^ "/time_s") with
+              | Some h -> h.M.sum
+              | None -> 0.
+            in
+            let fail_pct =
+              if fires = 0 then 0. else float_of_int fails /. float_of_int fires
+            in
+            let us_per_fire =
+              if fires = 0 then 0. else time_s *. 1e6 /. float_of_int fires
+            in
+            [
+              p;
+              string_of_int fires;
+              string_of_int fails;
+              Table.fmt_pct fail_pct;
+              Table.fmt_seconds time_s;
+              Table.fmt_float ~decimals:2 us_per_fire;
+            ])
+          names
+      in
+      Some
+        (Table.render ~title:"propagators"
+           ~headers:
+             [ "propagator"; "fires"; "fails"; "fail%"; "time"; "µs/fire" ]
+           ~rows ())
+
+let scalar_table (snap : M.snapshot) =
+  let rows =
+    List.map (fun (n, v) -> [ n; string_of_int v ]) snap.M.counters
+    @ List.map (fun (n, v) -> [ n; Table.fmt_float ~decimals:3 v ]) snap.M.gauges
+  in
+  if rows = [] then None
+  else Some (Table.render ~title:"counters" ~headers:[ "metric"; "value" ] ~rows ())
+
+let histo_table (snap : M.snapshot) =
+  match snap.M.histos with
+  | [] -> None
+  | histos ->
+      let rows =
+        List.map
+          (fun (n, (h : M.histo_data)) ->
+            [
+              n;
+              string_of_int h.M.count;
+              Table.fmt_seconds h.M.sum;
+              (if h.M.count = 0 then "n/a" else Table.fmt_seconds h.M.vmin);
+              (if h.M.count = 0 then "n/a" else Table.fmt_seconds h.M.vmax);
+            ])
+          histos
+      in
+      Some
+        (Table.render ~title:"histograms"
+           ~headers:[ "histogram"; "count"; "sum"; "min"; "max" ]
+           ~rows ())
+
+let summary snap =
+  [ scalar_table snap; histo_table snap; propagator_table snap ]
+  |> List.filter_map Fun.id
+  |> String.concat "\n"

@@ -1,0 +1,12 @@
+(** Human-readable rendering of {!Obs.Metrics} snapshots — the terminal-side
+    counterpart of the Chrome-trace output ([--metrics] vs [--trace]). *)
+
+val propagator_table : Obs.Metrics.snapshot -> string option
+(** The per-propagator fire/fail/time table, built from the [prop/<name>/*]
+    entries a solve records under [instrument].  [None] when the snapshot
+    contains no propagator metrics (e.g. every solve took the greedy fast
+    path, which never builds a store). *)
+
+val summary : Obs.Metrics.snapshot -> string
+(** The whole snapshot: a counters/gauges table, a histogram table
+    (count/sum/min/max), and the propagator table when present. *)

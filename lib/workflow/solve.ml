@@ -144,12 +144,15 @@ let feasibility_errors inst sol =
       recomputed.late_jobs;
   List.rev !errors
 
-type stats = {
+type stats = Obs.Solve_stats.t = {
   seed_late : int;
   lower_bound : int;
   proved_optimal : bool;
   nodes : int;
   failures : int;
+  lns_moves : int;
+  elapsed : float;
+  metrics : Obs.Metrics.snapshot option;
 }
 
 (* CP model: the Table-1 formulation with arbitrary stage precedence. *)
@@ -251,7 +254,25 @@ let build_problem inst ~bound_init =
         (sol, sol.late_jobs));
   }
 
-let solve ?(limits = Cp.Search.no_limits) inst =
+(* Same metric names as Cp.Solver's harvest, so workflow and MapReduce solves
+   merge into one propagator table. *)
+let harvest store =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.add (Obs.Metrics.counter m "store/propagations")
+    (Cp.Store.stats_propagations store);
+  List.iter
+    (fun (pm : Cp.Store.prop_metric) ->
+      let pfx = "prop/" ^ pm.Cp.Store.prop_name in
+      Obs.Metrics.add (Obs.Metrics.counter m (pfx ^ "/fires")) pm.Cp.Store.fires;
+      Obs.Metrics.add (Obs.Metrics.counter m (pfx ^ "/fails")) pm.Cp.Store.fails;
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram m (pfx ^ "/time_s"))
+        pm.Cp.Store.time_s)
+    (Cp.Store.propagator_metrics store);
+  Obs.Metrics.snapshot m
+
+let solve ?(limits = Cp.Search.no_limits) ?(instrument = false) inst =
+  let t0 = Unix.gettimeofday () in
   let seed = greedy inst in
   let lb = lower_bound inst in
   if seed.late_jobs <= lb then
@@ -262,9 +283,13 @@ let solve ?(limits = Cp.Search.no_limits) inst =
         proved_optimal = true;
         nodes = 0;
         failures = 0;
+        lns_moves = 0;
+        elapsed = Unix.gettimeofday () -. t0;
+        metrics = (if instrument then Some Obs.Metrics.empty else None);
       } )
   else begin
     let problem = build_problem inst ~bound_init:seed.late_jobs in
+    if instrument then Cp.Store.set_instrumented problem.Cp.Search.store true;
     let outcome = Cp.Search.run_problem problem limits in
     let best = Option.value outcome.Cp.Search.best ~default:seed in
     ( best,
@@ -274,5 +299,9 @@ let solve ?(limits = Cp.Search.no_limits) inst =
         proved_optimal = outcome.Cp.Search.proved_optimal;
         nodes = outcome.Cp.Search.nodes;
         failures = outcome.Cp.Search.failures;
+        lns_moves = 0;
+        elapsed = Unix.gettimeofday () -. t0;
+        metrics =
+          (if instrument then Some (harvest problem.Cp.Search.store) else None);
       } )
   end

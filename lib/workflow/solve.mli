@@ -34,14 +34,24 @@ val feasibility_errors : instance -> solution -> string list
 (** Constraint oracle: completeness, earliest start times, stage precedence,
     pool capacities, and objective accounting. *)
 
-type stats = {
+(** The repo-wide solver-telemetry record ({!Obs.Solve_stats.t}) — the same
+    type {!Cp.Solver.stats} re-exports, so workflow and MapReduce solves
+    share one stats shape.  [lns_moves] is always 0 here (this solver is
+    pure B&B). *)
+type stats = Obs.Solve_stats.t = {
   seed_late : int;
   lower_bound : int;
   proved_optimal : bool;
   nodes : int;
   failures : int;
+  lns_moves : int;
+  elapsed : float;
+  metrics : Obs.Metrics.snapshot option;
 }
 
-val solve : ?limits:Cp.Search.limits -> instance -> solution * stats
+val solve :
+  ?limits:Cp.Search.limits -> ?instrument:bool -> instance -> solution * stats
 (** Greedy seed, then exact branch-and-bound when the seed does not meet the
-    lower bound.  Never fails; at worst returns the seed. *)
+    lower bound.  Never fails; at worst returns the seed.  With
+    [~instrument:true], [stats.metrics] carries the per-propagator
+    fire/fail/time counters (same names as {!Cp.Solver}'s). *)
