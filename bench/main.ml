@@ -427,6 +427,53 @@ let portfolio_compare ~domains ~out () =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* warm-start comparison mode (--warm-compare): the Fig. 2 Facebook    *)
+(* workload (lambda = 3e-4, seed 42) simulated twice — cold re-solve   *)
+(* on every manager invocation (the paper's behaviour) vs warm-start   *)
+(* re-solving with the plan cache — emitted as JSON so CI can track    *)
+(* the per-invocation overhead saving across PRs                       *)
+(* ------------------------------------------------------------------ *)
+
+let warm_compare ~jobs_n ~out () =
+  let lambda = 0.0003 and seed = 42 in
+  let jobs = facebook_jobs ~n:jobs_n ~lambda seed in
+  let run ~warm_start =
+    let mgr =
+      Mrcp.Manager.create ~cluster:fb_cluster
+        { Mrcp.Manager.default_config with Mrcp.Manager.warm_start }
+    in
+    let driver = Opensim.Driver.of_mrcp mgr in
+    let r = Opensim.Simulator.run ~driver ~jobs () in
+    let solves = Mrcp.Manager.solve_count mgr in
+    let overhead = Mrcp.Manager.overhead_seconds mgr in
+    Printf.sprintf
+      {|{"mode":"%s","n_late":%d,"jobs":%d,"solves":%d,"cache_hits":%d,"overhead_s":%.6f,"o_per_invocation_s":%.6f,"o_max_invocation_s":%.6f,"o_per_job_s":%.6f}|}
+      (if warm_start then "warm" else "cold")
+      r.Opensim.Simulator.n_late r.Opensim.Simulator.jobs_total solves
+      (Mrcp.Manager.cache_hit_count mgr)
+      overhead
+      (if solves > 0 then overhead /. float_of_int solves else 0.)
+      (Mrcp.Manager.max_invocation_seconds mgr)
+      r.Opensim.Simulator.overhead_per_job_s
+  in
+  let cold = run ~warm_start:false in
+  let warm = run ~warm_start:true in
+  let json =
+    Printf.sprintf
+      {|{"bench":"warm-compare","workload":"facebook","lambda":%g,"seed":%d,"jobs":%d,"cold":%s,"warm":%s}|}
+      lambda seed jobs_n cold warm
+  in
+  print_endline json;
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -493,6 +540,31 @@ let () =
       find 1
     in
     portfolio_compare ~domains ~out ()
+  end
+  else if Array.exists (( = ) "--warm-compare") argv then begin
+    (* bench/main.exe --warm-compare [JOBS] [--out FILE]:
+       cold-vs-warm manager comparison JSON on the Fig. 2 workload *)
+    let n = Array.length argv in
+    let jobs_n =
+      let rec find i =
+        if i >= n then 200
+        else if argv.(i) = "--warm-compare" && i + 1 < n then
+          match int_of_string_opt argv.(i + 1) with
+          | Some j when j > 0 -> j
+          | _ -> 200
+        else find (i + 1)
+      in
+      find 1
+    in
+    let out =
+      let rec find i =
+        if i >= n then None
+        else if argv.(i) = "--out" && i + 1 < n then Some argv.(i + 1)
+        else find (i + 1)
+      in
+      find 1
+    in
+    warm_compare ~jobs_n ~out ()
   end
   else begin
     Printf.printf

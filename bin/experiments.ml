@@ -32,7 +32,7 @@ let all_ids =
   ]
 
 let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
-    metrics =
+    metrics no_warm_start =
   let base =
     {
       Expkit.Runner.default_config with
@@ -41,6 +41,7 @@ let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
       solver_time_limit = budget;
       validate;
       instrument = metrics;
+      warm_start = not no_warm_start;
     }
   in
   if trace_out <> None then Obs.Trace.start ();
@@ -162,6 +163,12 @@ let metrics =
            ~doc:"Instrument the solver and print the merged \
                  counter/histogram and per-propagator tables per figure.")
 
+let no_warm_start =
+  Arg.(value & flag
+       & info [ "no-warm-start" ]
+           ~doc:"Disable warm-start re-solving: cold solve on every \
+                 manager invocation, as in the paper.")
+
 let cmd =
   let expand ids =
     List.concat_map (fun id -> if id = "all" then all_ids else [ id ]) ids
@@ -169,11 +176,11 @@ let cmd =
   let term =
     Term.(
       const (fun ids reps jobs fb_jobs seed budget out validate lambdas
-                 trace_out metrics ->
+                 trace_out metrics no_warm_start ->
           run_ids (expand ids) reps jobs fb_jobs seed budget out validate
-            lambdas trace_out metrics)
+            lambdas trace_out metrics no_warm_start)
       $ ids_arg $ reps $ jobs $ fb_jobs $ seed $ budget $ out $ validate
-      $ lambdas $ trace_out $ metrics)
+      $ lambdas $ trace_out $ metrics $ no_warm_start)
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")

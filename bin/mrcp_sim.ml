@@ -20,7 +20,8 @@ let print_metrics = function
 
 let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
     seed budget ordering domains deferral validate verbose replay trace_out
-    metrics =
+    metrics no_warm_start =
+  let warm_start = not no_warm_start in
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -40,6 +41,7 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
       deferral_window = deferral;
       validate;
       instrument = metrics;
+      warm_start;
     }
   in
   if trace_out <> None then Obs.Trace.start ();
@@ -78,7 +80,7 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
                 Opensim.Driver.of_mrcp
                   (Mrcp.Manager.create ~cluster
                      { Mrcp.Manager.solver; domains;
-                       deferral_window = deferral; validate })
+                       deferral_window = deferral; validate; warm_start })
             | Expkit.Runner.Min_edf_wc | Expkit.Runner.Edf_wc
             | Expkit.Runner.Fcfs_wc ->
                 let policy =
@@ -195,7 +197,11 @@ let term =
     $ Arg.(value & flag
            & info [ "metrics" ]
                ~doc:"Instrument the solver and print counter/histogram and \
-                     per-propagator fire/fail/time tables after the run."))
+                     per-propagator fire/fail/time tables after the run.")
+    $ Arg.(value & flag
+           & info [ "no-warm-start" ]
+               ~doc:"Disable warm-start re-solving: cold solve on every \
+                     invocation, as in the paper."))
 
 let cmd =
   Cmd.v

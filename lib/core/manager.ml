@@ -12,6 +12,7 @@ type config = {
   domains : int;
   deferral_window : int option;
   validate : bool;
+  warm_start : bool;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     domains = 1;
     deferral_window = Some 300_000 (* 300 s *);
     validate = false;
+    warm_start = true;
   }
 
 type task_state = {
@@ -48,6 +50,7 @@ type t = {
   mutable max_invocation : float;
   mutable plan_version : int;
   mutable solves : int;
+  mutable cache_hits : int;
   mutable scheduled_jobs : int;
   mutable last_stats : Cp.Solver.stats option;
   mutable last_portfolio : Cp.Portfolio.stats option;
@@ -75,6 +78,7 @@ let create ~cluster config =
     max_invocation = 0.;
     plan_version = 0;
     solves = 0;
+    cache_hits = 0;
     scheduled_jobs = 0;
     last_stats = None;
     last_portfolio = None;
@@ -161,8 +165,13 @@ let classify ~now (js : job_state) =
 let task_states js = Array.to_list js.maps @ Array.to_list js.reduces
 
 (* Plans from consecutive invocations must keep each running task on its slot
-   and never double-book a unit slot. *)
-let validate_plan dispatches frozen =
+   and never double-book a unit slot.  [ests] maps each scheduled job to the
+   effective earliest start of this invocation — for a deferred job
+   re-entering via [next_wake] that is its s_j bumped up to [now] (possibly
+   past its own deadline), which the solution-level oracle alone would only
+   check against the instance the solver saw, not against what the
+   matchmaker actually dispatched. *)
+let validate_plan dispatches frozen ~ests =
   let by_slot = Hashtbl.create 64 in
   let record kind slot start finish task_id =
     let key = (kind, slot) in
@@ -183,7 +192,19 @@ let validate_plan dispatches frozen =
     (fun (d : Dispatch.t) ->
       record d.Dispatch.task.T.kind d.Dispatch.slot d.Dispatch.start
         (Dispatch.finish d) d.Dispatch.task.T.task_id)
-    (frozen @ dispatches)
+    (frozen @ dispatches);
+  List.iter
+    (fun (d : Dispatch.t) ->
+      match Hashtbl.find_opt ests d.Dispatch.task.T.job_id with
+      | Some est when d.Dispatch.start < est ->
+          failwith
+            (Printf.sprintf
+               "plan validation: task %d of job %d dispatched at %d before \
+                the job's effective earliest start %d"
+               d.Dispatch.task.T.task_id d.Dispatch.task.T.job_id
+               d.Dispatch.start est)
+      | Some _ | None -> ())
+    dispatches
 
 let invoke t ~now =
   release_due t ~now;
@@ -191,6 +212,7 @@ let invoke t ~now =
     let span_ts = if Obs.Trace.enabled () then Some (Obs.Trace.now_us ()) else None in
     let t0 = Unix.gettimeofday () in
     (* absorb the job queue into the active set *)
+    let arrived = ref [] in
     Queue.iter
       (fun (job : T.job) ->
         let state task = { task; dispatch = None; finished = false } in
@@ -202,9 +224,25 @@ let invoke t ~now =
             reduces = Array.map state job.T.reduce_tasks;
           }
           :: t.active;
+        arrived := job.T.id :: !arrived;
         t.scheduled_jobs <- t.scheduled_jobs + 1)
       t.queue;
     Queue.clear t.queue;
+    (* warm start: snapshot the surviving plan (planned-but-unstarted tasks)
+       before [classify] wipes their dispatches.  Started/finished tasks need
+       no carried entry — they re-enter the instance as frozen tasks. *)
+    let carried = Hashtbl.create 64 in
+    if t.config.warm_start then
+      List.iter
+        (fun js ->
+          List.iter
+            (fun ts ->
+              match ts.dispatch with
+              | Some d when (not ts.finished) && d.Dispatch.start > now ->
+                  Hashtbl.replace carried ts.task.T.task_id d.Dispatch.start
+              | Some _ | None -> ())
+            (task_states js))
+        t.active;
     (* classify tasks, dropping completed jobs (Table 2 l.15–16) *)
     let still_active, pending_jobs =
       List.fold_left
@@ -223,16 +261,43 @@ let invoke t ~now =
         jobs = Array.of_list pending_jobs;
       }
     in
-    (* lines 19–20: generate and solve the model *)
-    let options = { t.config.solver with Cp.Solver.seed = t.config.solver.Cp.Solver.seed + t.solves } in
+    (* lines 19–20: generate and solve the model, warm-started from the
+       carried plan when one survived *)
+    let warm =
+      if t.config.warm_start && Hashtbl.length carried > 0 then
+        Some
+          { Cp.Solver.carried_starts = carried; changed_jobs = !arrived }
+      else None
+    in
+    let options =
+      { t.config.solver with
+        Cp.Solver.seed = t.config.solver.Cp.Solver.seed + t.solves;
+        warm_start = warm }
+    in
     let solution, stats =
       if t.config.domains > 1 then begin
-        let sol, ps = Cp.Portfolio.solve ~domains:t.config.domains ~options inst in
+        let sol, ps =
+          Cp.Portfolio.solve ~domains:t.config.domains ~options inst
+        in
         t.last_portfolio <- Some ps;
         (sol, ps.Cp.Portfolio.base)
       end
       else Cp.Solver.solve ~options inst
     in
+    (* plan cache hit: the carried plan, completed around the new arrivals,
+       was still feasible and already met the lower bound, so the solver
+       adopted it and returned straight from the fast path — no model was
+       built, no search ran (nodes = 0) *)
+    let cache_hit =
+      stats.Cp.Solver.warm_seeded
+      && stats.Cp.Solver.seed_late <= stats.Cp.Solver.lower_bound
+    in
+    if cache_hit then begin
+      t.cache_hits <- t.cache_hits + 1;
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~cat:"manager" "plan-cache-hit"
+          ~args:[ ("late", Obs.Trace.Int solution.Solution.late_jobs) ]
+    end;
     t.last_stats <- Some stats;
     t.solves <- t.solves + 1;
     if t.config.validate then begin
@@ -270,7 +335,14 @@ let invoke t ~now =
       Matchmaker.assign_all mm ~starts:solution.Solution.starts
         ~pending:pending_tasks
     in
-    if t.config.validate then validate_plan dispatches !frozen_dispatches;
+    if t.config.validate then begin
+      let ests = Hashtbl.create 64 in
+      List.iter
+        (fun (pj : Instance.pending_job) ->
+          Hashtbl.replace ests pj.Instance.job.T.id pj.Instance.est)
+        pending_jobs;
+      validate_plan dispatches !frozen_dispatches ~ests
+    end;
     (* install the new plan on the task states *)
     let by_id = Hashtbl.create 256 in
     List.iter
@@ -295,6 +367,8 @@ let invoke t ~now =
     (match t.registry with
     | Some r ->
         Obs.Metrics.add (Obs.Metrics.counter r "manager/invocations") 1;
+        if cache_hit then
+          Obs.Metrics.add (Obs.Metrics.counter r "manager/plan_cache_hits") 1;
         Obs.Metrics.observe (Obs.Metrics.histogram r "manager/invoke_s") elapsed;
         Obs.Metrics.set_gauge (Obs.Metrics.gauge r "manager/late_jobs")
           (float_of_int late);
@@ -312,6 +386,7 @@ let invoke t ~now =
                 Obs.Trace.Int (Sched.Instance.pending_task_count inst) );
               ("late_jobs", Obs.Trace.Int late);
               ("late_delta", Obs.Trace.Int (late - t.last_late));
+              ("cache_hit", Obs.Trace.Int (if cache_hit then 1 else 0));
             ]
     | None -> ());
     t.last_late <- late;
@@ -329,6 +404,7 @@ let active_jobs t = List.length t.active
 let overhead_seconds t = t.overhead
 let max_invocation_seconds t = t.max_invocation
 let solve_count t = t.solves
+let cache_hit_count t = t.cache_hits
 let jobs_scheduled t = t.scheduled_jobs
 let last_stats t = t.last_stats
 let last_solver_stats = last_stats

@@ -11,7 +11,10 @@
       constraint, [isPrevScheduled]), or finished (removed; a job with no
       remaining tasks leaves the system) (l.5–18);
     + rebuild the CP model over pending tasks and solve it (l.19–20),
-      seeding/solving through {!Cp.Solver} with the configured job ordering;
+      seeding/solving through {!Cp.Solver} with the configured job ordering —
+      warm-started (when [config.warm_start]) from the surviving portion of
+      the previous plan, with the solve skipped entirely when that carried
+      plan is still feasible and already bound-optimal (a "plan cache hit");
     + extract the new combined schedule and matchmake it onto physical
       resources (§V.D) to produce the new plan (l.21–22).
 
@@ -34,12 +37,23 @@ type config = {
       (** §V.E: [Some w] defers jobs with s_j > now + w; [None] disables *)
   validate : bool;
       (** re-check every solution against the Table-1 oracle and every plan
-          against slot-exclusivity (slower; on in tests) *)
+          against slot-exclusivity (slower; on in tests).  Applies to every
+          path that installs a plan — cold solves, warm-started solves, the
+          plan-cache-hit fast path, and invocations triggered by deferred
+          jobs re-entering via {!next_wake}. *)
+  warm_start : bool;
+      (** carry the surviving portion of the previous plan into the next
+          solve as a starting incumbent ({!Cp.Solver.options.warm_start}),
+          and skip the solve entirely (a "plan cache hit") when that carried
+          plan — completed around the new arrivals — is still feasible and
+          already meets the lower bound.  Default [true]; disable
+          ([--no-warm-start] in the CLIs) to reproduce the paper's cold
+          re-solve on every invocation. *)
 }
 
 val default_config : config
 (** EDF ordering, 1 domain (sequential), deferral window 300 s, validation
-    off. *)
+    off, warm start on. *)
 
 type t
 
@@ -79,6 +93,15 @@ val max_invocation_seconds : t -> float
     these maxima, e.g. "O was observed to be 0.57s" at small m). *)
 
 val solve_count : t -> int
+(** Scheduling passes run (including plan-cache hits, which replace a solve
+    with an O(1)-ish plan completion). *)
+
+val cache_hit_count : t -> int
+(** Passes that skipped the CP solve because the carried-over plan was still
+    feasible and bound-optimal (also counted in the [manager/plan_cache_hits]
+    metric and flagged on the invoke trace span).  Always 0 when
+    [config.warm_start] is false. *)
+
 val jobs_scheduled : t -> int
 (** Total jobs that have been through at least one scheduling pass —
     the denominator of O. *)

@@ -85,16 +85,19 @@ let solve ?(domains = 1) ?(options = Solver.default_options)
   end
   else begin
     let lb = Solver.late_lower_bound inst in
-    let seed_sol = Solver.greedy_seed ~ordering:options.Solver.ordering inst in
+    let seed_sol, warm_seeded = Solver.starting_incumbent ~options ~lb inst in
     if seed_sol.Solution.late_jobs <= lb then begin
-      (* the common open-system case: the greedy seed meets the lower bound,
-         so the sequential fast path is optimal — don't spawn domains.  The
-         stats mirror Solver.solve's fast path exactly. *)
+      (* the common open-system case: the starting incumbent (greedy seed,
+         or the warm-start candidate carried over from the previous solve)
+         meets the lower bound, so the sequential fast path is optimal —
+         don't spawn domains.  The stats mirror Solver.solve's fast path
+         exactly. *)
       let s =
         {
           Solver.seed_late = seed_sol.Solution.late_jobs;
           lower_bound = lb;
           proved_optimal = true;
+          warm_seeded;
           nodes = 0;
           failures = 0;
           lns_moves = 0;
@@ -187,6 +190,11 @@ let solve ?(domains = 1) ?(options = Solver.default_options)
           let seed_late =
             match results with (_, _, s0) :: _ -> s0.Solver.seed_late | [] -> 0
           in
+          let warm_seeded =
+            match results with
+            | (_, _, s0) :: _ -> s0.Solver.warm_seeded
+            | [] -> false
+          in
           let proved =
             List.exists (fun (_, _, s) -> s.Solver.proved_optimal) results
             || best_sol.Solution.late_jobs <= lb
@@ -203,6 +211,7 @@ let solve ?(domains = 1) ?(options = Solver.default_options)
               Solver.seed_late;
               lower_bound = lb;
               proved_optimal = proved;
+              warm_seeded;
               nodes = sum (fun s -> s.Solver.nodes);
               failures = sum (fun s -> s.Solver.failures);
               lns_moves = sum (fun s -> s.Solver.lns_moves);

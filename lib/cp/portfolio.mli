@@ -30,7 +30,13 @@
       without spawning any domain;
     - every worker owns its {!Store}, {!Model} and RNG; the only shared
       mutable state is the two [Atomic]s (see the store's domain-locality
-      notes in [store.mli]). *)
+      notes in [store.mli]);
+    - a warm start ([options.warm_start], see {!Solver.incumbent}) flows
+      through unchanged to every worker: each seeds from the same carried
+      candidate (completed deterministically, so all workers agree on it)
+      and publishes it into the shared incumbent immediately, and the
+      seed-is-optimal shortcut above also takes the warm candidate into
+      account. *)
 
 type worker_stats = {
   strategy : string;  (** e.g. ["sequential"], ["edf/duration/s7919"] *)

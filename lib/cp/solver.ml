@@ -3,6 +3,11 @@ module Instance = Sched.Instance
 module Solution = Sched.Solution
 module Greedy = Sched.Greedy
 
+type incumbent = {
+  carried_starts : (int, int) Hashtbl.t;
+  changed_jobs : int list;
+}
+
 type options = {
   ordering : Greedy.order;
   exact_task_limit : int;
@@ -13,6 +18,7 @@ type options = {
   seed : int;
   tie_break : Search.tie_break;
   instrument : bool;
+  warm_start : incumbent option;
 }
 
 let default_options =
@@ -26,6 +32,7 @@ let default_options =
     seed = 0;
     tie_break = Search.Slack_first;
     instrument = false;
+    warm_start = None;
   }
 
 (* Hooks a portfolio coordinator installs so concurrent workers share the
@@ -52,6 +59,7 @@ type stats = Obs.Solve_stats.t = {
   seed_late : int;
   lower_bound : int;
   proved_optimal : bool;
+  warm_seeded : bool;
   nodes : int;
   failures : int;
   lns_moves : int;
@@ -111,9 +119,14 @@ let doomed_last_sequence (inst : Instance.t) =
   seq
 
 (* Best greedy seed across the orderings (plus the doomed-last variant),
-   preferring the configured one on ties. *)
-let greedy_seed ~ordering inst =
-  let preferred = Greedy.solve ~order:ordering inst in
+   preferring the configured one on ties.  [?preferred] lets a caller that
+   already ran the configured ordering hand the result in. *)
+let greedy_seed ?preferred ~ordering inst =
+  let preferred =
+    match preferred with
+    | Some p -> p
+    | None -> Greedy.solve ~order:ordering inst
+  in
   let best =
     List.fold_left
       (fun best order ->
@@ -176,6 +189,149 @@ let merge_starts (inst : Instance.t) (incumbent : Solution.t)
   Hashtbl.iter (Hashtbl.replace merged) partial.Solution.starts;
   Solution.evaluate inst merged
 
+(* Checks the same Table-1 constraints as [Solution.feasibility_errors] —
+   every pending task has a start, starts respect est, reduces respect the
+   job's latest-finishing-map time, pool capacities are never exceeded — but
+   with per-task arithmetic plus one event sweep per pool instead of
+   replaying every task through a capacity profile.  This runs on every
+   warm-started solve, where the profile replay was measured to cost as much
+   as a whole greedy pass. *)
+let candidate_feasible (inst : Instance.t) (sol : Solution.t) =
+  let ok = ref true in
+  let map_events = ref [] and reduce_events = ref [] in
+  let push evs start (task : T.task) =
+    evs :=
+      (start, task.T.capacity_req)
+      :: (start + task.T.exec_time, -task.T.capacity_req)
+      :: !evs
+  in
+  Array.iter
+    (fun (j : Instance.pending_job) ->
+      Array.iter
+        (fun (f : Instance.fixed_task) ->
+          push map_events f.Instance.start f.Instance.task)
+        j.Instance.fixed_maps;
+      Array.iter
+        (fun (f : Instance.fixed_task) ->
+          push reduce_events f.Instance.start f.Instance.task)
+        j.Instance.fixed_reduces;
+      let lfmt = ref j.Instance.frozen_lfmt in
+      Array.iter
+        (fun (task : T.task) ->
+          match Hashtbl.find_opt sol.Solution.starts task.T.task_id with
+          | None -> ok := false
+          | Some s ->
+              if s < j.Instance.est then ok := false;
+              if s + task.T.exec_time > !lfmt then
+                lfmt := s + task.T.exec_time;
+              push map_events s task)
+        j.Instance.pending_maps;
+      Array.iter
+        (fun (task : T.task) ->
+          match Hashtbl.find_opt sol.Solution.starts task.T.task_id with
+          | None -> ok := false
+          | Some s ->
+              if s < !lfmt then ok := false;
+              push reduce_events s task)
+        j.Instance.pending_reduces)
+    inst.Instance.jobs;
+  let capacity_ok events capacity =
+    let evs = Array.of_list !events in
+    (* releases sort before acquisitions at equal times, so back-to-back
+       tasks on the same slot don't double-count *)
+    Array.sort
+      (fun (t1, d1) (t2, d2) ->
+        if t1 <> t2 then compare t1 t2 else compare d1 d2)
+      evs;
+    let load = ref 0 and fits = ref true in
+    Array.iter
+      (fun (_, delta) ->
+        load := !load + delta;
+        if !load > capacity then fits := false)
+      evs;
+    !fits
+  in
+  !ok
+  && capacity_ok map_events inst.Instance.map_capacity
+  && capacity_ok reduce_events inst.Instance.reduce_capacity
+
+(* Complete a carried-over plan into a full candidate solution for the
+   updated instance.  A job is "covered" when every one of its pending tasks
+   still has a carried (non-stale) start; covered jobs are frozen at those
+   starts and the remaining jobs (new arrivals, or jobs whose carried entries
+   went stale) are list-scheduled around them.  The result is only returned
+   when it passes the Table-1 constraint check, so a warm start can never
+   inject an infeasible incumbent. *)
+let warm_candidate (inst : Instance.t) (inc : incumbent) =
+  let fresh j (task : T.task) =
+    (* a carried start below the job's current est is stale (the clock or a
+       deferral release bumped s_j past it) and poisons the whole job *)
+    match Hashtbl.find_opt inc.carried_starts task.T.task_id with
+    | Some s -> s >= j.Instance.est
+    | None -> false
+  in
+  let covered (j : Instance.pending_job) =
+    Array.for_all (fresh j) j.Instance.pending_maps
+    && Array.for_all (fresh j) j.Instance.pending_reduces
+  in
+  let uncovered = Hashtbl.create 8 in
+  Array.iteri
+    (fun jdx j -> if not (covered j) then Hashtbl.replace uncovered jdx ())
+    inst.Instance.jobs;
+  let n_jobs = Array.length inst.Instance.jobs in
+  if n_jobs = 0 || Hashtbl.length uncovered = n_jobs then None
+  else begin
+    let starts = Hashtbl.create 64 in
+    Array.iteri
+      (fun jdx (j : Instance.pending_job) ->
+        if not (Hashtbl.mem uncovered jdx) then begin
+          let copy (task : T.task) =
+            Hashtbl.replace starts task.T.task_id
+              (Hashtbl.find inc.carried_starts task.T.task_id)
+          in
+          Array.iter copy j.Instance.pending_maps;
+          Array.iter copy j.Instance.pending_reduces
+        end)
+      inst.Instance.jobs;
+    if Hashtbl.length uncovered > 0 then begin
+      let pseudo = { Solution.starts; late_jobs = 0; total_tardiness = 0 } in
+      let sub = freeze_except inst pseudo uncovered in
+      (* fixed Edf completion order keeps the candidate identical across
+         portfolio workers whatever their own seed ordering is *)
+      let partial = Greedy.solve ~order:Greedy.Edf sub in
+      Hashtbl.iter (Hashtbl.replace starts) partial.Solution.starts
+    end;
+    let sol = Solution.evaluate inst starts in
+    if candidate_feasible inst sol then Some sol else None
+  end
+
+(* The incumbent the search pipeline actually starts from.  Cold solves take
+   the best greedy seed over every ordering.  Warm solves put the carried
+   plan on the critical path instead of on top of it: when the caller
+   supplies the lower bound and the warm candidate already meets it, no
+   greedy runs at all (the plan-cache-hit fast path — the whole solve
+   reduces to one coverage check plus a list-scheduling completion);
+   otherwise the candidate is raced against a single pass of the configured
+   ordering, and only when it loses does the full multi-ordering cold seed
+   run.  Ties go to the warm plan — it minimizes churn against the previous
+   schedule.  The returned flag records whether the warm candidate won. *)
+let starting_incumbent ~options ?lb inst =
+  let cold () = (greedy_seed ~ordering:options.ordering inst, false) in
+  match options.warm_start with
+  | None -> cold ()
+  | Some inc -> (
+      match warm_candidate inst inc with
+      | None -> cold ()
+      | Some warm
+        when (match lb with
+             | Some b -> warm.Solution.late_jobs <= b
+             | None -> false) ->
+          (warm, true)
+      | Some warm ->
+          let preferred = Greedy.solve ~order:options.ordering inst in
+          if not (Solution.better preferred warm) then (warm, true)
+          else (greedy_seed ~preferred ~ordering:options.ordering inst, false))
+
 (* Drain a searched store's per-propagator telemetry into the registry. *)
 let harvest_store registry store =
   Obs.Metrics.add (Obs.Metrics.counter registry "store/propagations")
@@ -210,8 +366,8 @@ let solve_linked ~options ~link (inst : Instance.t) =
   let registry =
     if options.instrument then Some (Obs.Metrics.create ()) else None
   in
-  let seed_sol = greedy_seed ~ordering:options.ordering inst in
   let lb = late_lower_bound inst in
+  let seed_sol, warm_seeded = starting_incumbent ~options ~lb inst in
   link.announce seed_sol.Solution.late_jobs;
   let nodes = ref 0 and failures = ref 0 and lns_moves = ref 0 in
   let finish incumbent proved =
@@ -220,6 +376,7 @@ let solve_linked ~options ~link (inst : Instance.t) =
         seed_late = seed_sol.Solution.late_jobs;
         lower_bound = lb;
         proved_optimal = proved;
+        warm_seeded;
         nodes = !nodes;
         failures = !failures;
         lns_moves = !lns_moves;
@@ -261,6 +418,23 @@ let solve_linked ~options ~link (inst : Instance.t) =
       let n_jobs = Array.length inst.Instance.jobs in
       let incumbent = ref seed_sol in
       let stall = ref 0 in
+      (* warm start: the jobs the caller flagged as changed since the last
+         solve (new arrivals, repaired jobs) are relaxed on the first move,
+         so the search immediately re-optimizes around the delta instead of
+         a random neighbourhood *)
+      let changed_idxs =
+        match options.warm_start with
+        | Some { changed_jobs = (_ :: _) as ids; _ } ->
+            let wanted = Hashtbl.create 16 in
+            List.iter (fun id -> Hashtbl.replace wanted id ()) ids;
+            let acc = ref [] in
+            Array.iteri
+              (fun jdx (j : Instance.pending_job) ->
+                if Hashtbl.mem wanted j.Instance.job.T.id then acc := jdx :: !acc)
+              inst.Instance.jobs;
+            !acc
+        | Some _ | None -> []
+      in
       let continue () =
         !incumbent.Solution.late_jobs > lb
         && !stall < options.lns_max_stall
@@ -270,6 +444,8 @@ let solve_linked ~options ~link (inst : Instance.t) =
       while continue () do
         incr lns_moves;
         let relax_set = Hashtbl.create 16 in
+        if !lns_moves = 1 then
+          List.iter (fun jdx -> Hashtbl.replace relax_set jdx ()) changed_idxs;
         (* all currently-late jobs ... *)
         Array.iteri
           (fun jdx (j : Instance.pending_job) ->

@@ -15,6 +15,17 @@
       budget — the same anytime regime CP Optimizer applies to models of this
       shape. *)
 
+(** A carried-over plan from a previous solve, injected as a warm start.
+    [carried_starts] maps task ids to the start times the previous schedule
+    gave them (entries for tasks that are no longer pending are ignored);
+    [changed_jobs] lists the job ids that changed since that schedule was
+    produced (new arrivals, repaired jobs) — LNS relaxes them on its first
+    move so the search re-optimizes around the delta first. *)
+type incumbent = {
+  carried_starts : (int, int) Hashtbl.t;
+  changed_jobs : int list;
+}
+
 type options = {
   ordering : Sched.Greedy.order;
       (** job-ordering strategy for the greedy seed (paper §VI.B) *)
@@ -32,6 +43,12 @@ type options = {
       (** collect per-propagator fire/fail/time metrics into
           [stats.metrics] (default [false]).  Metering never changes
           pruning, so the search trajectory is identical either way. *)
+  warm_start : incumbent option;
+      (** seed the solve from the previous invocation's surviving schedule
+          (default [None], the historical cold solve).  The completed warm
+          candidate only replaces the greedy seed when it passes the Table-1
+          oracle and is at least as good, so a warm solve is never seeded
+          worse than a cold one. *)
 }
 
 val default_options : options
@@ -39,9 +56,15 @@ val default_options : options
 (** Re-export of the repo-wide solver-telemetry record
     ({!Obs.Solve_stats.t}) — the same fields, same type. *)
 type stats = Obs.Solve_stats.t = {
-  seed_late : int;  (** late jobs in the greedy seed *)
+  seed_late : int;
+      (** late jobs in the starting incumbent (greedy seed, or the
+          warm-start candidate when one was adopted) *)
   lower_bound : int;
   proved_optimal : bool;
+  warm_seeded : bool;
+      (** the starting incumbent was the carried-over {!warm_candidate};
+          combined with [seed_late <= lower_bound] this identifies a plan
+          cache hit (no model was built, no search ran) *)
   nodes : int;
   failures : int;
   lns_moves : int;
@@ -82,11 +105,36 @@ val solve_linked :
     run on its own domain (see {!Portfolio}). *)
 
 val greedy_seed :
+  ?preferred:Sched.Solution.t ->
   ordering:Sched.Greedy.order -> Sched.Instance.t -> Sched.Solution.t
 (** Best greedy solution across the three §VI.B orderings plus the
-    doomed-last variant, preferring [ordering] on ties — the seed {!solve}
-    starts from.  Deterministic; exported so the portfolio coordinator can
-    take the seed-is-optimal shortcut without spawning domains. *)
+    doomed-last variant, preferring [ordering] on ties — the cold seed
+    {!solve} starts from.  Deterministic; exported so the portfolio
+    coordinator can take the seed-is-optimal shortcut without spawning
+    domains. *)
+
+val warm_candidate :
+  Sched.Instance.t -> incumbent -> Sched.Solution.t option
+(** Complete a carried-over plan into a full solution for the (updated)
+    instance: jobs whose pending tasks all still have non-stale carried
+    starts are frozen there, every other job (new arrivals, jobs with stale
+    entries) is EDF-list-scheduled around them.  Returns [None] when nothing
+    usable was carried or the completed candidate fails the Table-1 oracle —
+    a returned candidate always passes {!Sched.Solution.feasibility_errors}.
+    Deterministic.  The manager uses this directly for its plan-cache-hit
+    fast path (skip the solve when the candidate already meets
+    {!late_lower_bound}). *)
+
+val starting_incumbent :
+  options:options -> ?lb:int -> Sched.Instance.t ->
+  Sched.Solution.t * bool
+(** The incumbent the seed → bound → B&B/LNS pipeline actually starts from:
+    {!greedy_seed}, or the {!warm_candidate} when [options.warm_start] is
+    set and the candidate is at least as good (ties prefer the warm plan to
+    minimize schedule churn).  The flag is [true] iff the warm candidate was
+    adopted.  Passing [?lb] (from {!late_lower_bound}) enables the
+    plan-cache-hit fast path: a warm candidate that already meets the bound
+    is returned without computing any greedy seed. *)
 
 val late_lower_bound : Sched.Instance.t -> int
 (** Number of jobs that are late in {e every} schedule: est plus the

@@ -21,6 +21,7 @@ type config = {
   deferral_window : int option;
   validate : bool;
   instrument : bool;
+  warm_start : bool;
 }
 
 let default_config =
@@ -35,6 +36,7 @@ let default_config =
     deferral_window = Some 300_000;
     validate = false;
     instrument = false;
+    warm_start = true;
   }
 
 type point = {
@@ -75,6 +77,7 @@ let make_driver config cluster ~seed =
           domains = config.solver_domains;
           deferral_window = config.deferral_window;
           validate = config.validate;
+          warm_start = config.warm_start;
         }
       in
       Opensim.Driver.of_mrcp (Mrcp.Manager.create ~cluster mconfig)

@@ -29,11 +29,15 @@ type config = {
   instrument : bool;
       (** collect solver/propagator metrics into [point.metrics] (MRCP-RM
           managers only) *)
+  warm_start : bool;
+      (** carry the previous plan into each solve as a starting incumbent
+          (see {!Mrcp.Manager.config}); [false] reproduces the paper's cold
+          re-solve on every invocation ([--no-warm-start] in the CLIs) *)
 }
 
 val default_config : config
 (** 200 jobs, 3 reps, MRCP-RM, EDF, 0.2 s budget, 1 domain, 300 s deferral
-    window. *)
+    window, warm start on. *)
 
 type point = {
   label : string;

@@ -2,6 +2,7 @@ type t = {
   seed_late : int;
   lower_bound : int;
   proved_optimal : bool;
+  warm_seeded : bool;
   nodes : int;
   failures : int;
   lns_moves : int;
@@ -11,10 +12,11 @@ type t = {
 
 let pp fmt s =
   Format.fprintf fmt
-    "cp-stats<seed_late=%d lb=%d optimal=%b nodes=%d fails=%d lns=%d \
+    "cp-stats<seed_late=%d lb=%d optimal=%b%s nodes=%d fails=%d lns=%d \
      t=%.4fs>"
-    s.seed_late s.lower_bound s.proved_optimal s.nodes s.failures s.lns_moves
-    s.elapsed
+    s.seed_late s.lower_bound s.proved_optimal
+    (if s.warm_seeded then " warm" else "")
+    s.nodes s.failures s.lns_moves s.elapsed
 
 let to_metrics s =
   let m = Metrics.create () in
@@ -23,6 +25,8 @@ let to_metrics s =
   Metrics.add (Metrics.counter m "solver/failures") s.failures;
   Metrics.add (Metrics.counter m "solver/lns_moves") s.lns_moves;
   if s.proved_optimal then Metrics.add (Metrics.counter m "solver/proofs") 1;
+  if s.warm_seeded then
+    Metrics.add (Metrics.counter m "solver/warm_seeded") 1;
   Metrics.observe (Metrics.histogram m "solver/solve_s") s.elapsed;
   let base = Metrics.snapshot m in
   match s.metrics with

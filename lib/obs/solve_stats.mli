@@ -7,9 +7,13 @@
     its own copy of the node/failure/LNS fields. *)
 
 type t = {
-  seed_late : int;  (** late jobs in the greedy seed *)
+  seed_late : int;  (** late jobs in the starting incumbent *)
   lower_bound : int;  (** provable lower bound on Σ N_j *)
   proved_optimal : bool;
+  warm_seeded : bool;
+      (** the starting incumbent was the warm-start candidate carried over
+          from a previous plan (always [false] without
+          {!Cp.Solver.options.warm_start}) *)
   nodes : int;  (** branch-and-bound nodes explored *)
   failures : int;  (** search failures (dead ends) *)
   lns_moves : int;  (** large-neighbourhood moves attempted (0: pure B&B) *)

@@ -148,6 +148,7 @@ type stats = Obs.Solve_stats.t = {
   seed_late : int;
   lower_bound : int;
   proved_optimal : bool;
+  warm_seeded : bool;
   nodes : int;
   failures : int;
   lns_moves : int;
@@ -281,6 +282,7 @@ let solve ?(limits = Cp.Search.no_limits) ?(instrument = false) inst =
         seed_late = seed.late_jobs;
         lower_bound = lb;
         proved_optimal = true;
+        warm_seeded = false;
         nodes = 0;
         failures = 0;
         lns_moves = 0;
@@ -297,6 +299,7 @@ let solve ?(limits = Cp.Search.no_limits) ?(instrument = false) inst =
         seed_late = seed.late_jobs;
         lower_bound = lb;
         proved_optimal = outcome.Cp.Search.proved_optimal;
+        warm_seeded = false;
         nodes = outcome.Cp.Search.nodes;
         failures = outcome.Cp.Search.failures;
         lns_moves = 0;

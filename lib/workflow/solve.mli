@@ -42,6 +42,7 @@ type stats = Obs.Solve_stats.t = {
   seed_late : int;
   lower_bound : int;
   proved_optimal : bool;
+  warm_seeded : bool;  (** always [false]: the DAG solver has no warm start *)
   nodes : int;
   failures : int;
   lns_moves : int;

@@ -1,0 +1,155 @@
+(* Shared instance builders and QCheck generators for the test suite.
+
+   Every test binary used to carry its own ad-hoc [mk_task]/[mk_job]/counter
+   trio; they are unified here.  The random generators produce scaled-down
+   instances with the *shape* of the paper's Table 3/4 workloads — multi-task
+   map phases, optional reduce phases, AR jobs with s_j > arrival, deadlines
+   derived from est + a contention factor over the execution time — so qcheck
+   counter-examples stay small and readable while still covering all three
+   solver regimes (seed-optimal, exact B&B, LNS). *)
+
+module T = Mapreduce.Types
+module Instance = Sched.Instance
+
+(* --- deterministic builders -------------------------------------------- *)
+
+let task_counter = ref 1000
+
+(* Tests that rebuild copies of the same jobs (e.g. one per driver) call this
+   between builds so every copy gets identical task ids. *)
+let reset_tasks ?(at = 1000) () = task_counter := at
+
+let mk_task ~id ~job ~kind ~e =
+  { T.task_id = id; job_id = job; kind; exec_time = e; capacity_req = 1 }
+
+(* [maps] and [reduces] are duration lists; task ids come from the shared
+   counter.  [earliest_start = max est arrival] covers both plain jobs
+   (est 0) and AR jobs with an advance reservation. *)
+let mk_job ~id ?(arrival = 0) ?(est = 0) ~deadline ~maps ~reduces () =
+  let fresh kind e =
+    incr task_counter;
+    mk_task ~id:!task_counter ~job:id ~kind ~e
+  in
+  {
+    T.id;
+    arrival;
+    earliest_start = max est arrival;
+    deadline;
+    map_tasks = Array.of_list (List.map (fresh T.Map_task) maps);
+    reduce_tasks = Array.of_list (List.map (fresh T.Reduce_task) reduces);
+  }
+
+let instance ?(now = 0) ?(map_cap = 2) ?(reduce_cap = 2) jobs =
+  Instance.of_fresh_jobs ~now ~map_capacity:map_cap ~reduce_capacity:reduce_cap
+    jobs
+
+(* --- random instances --------------------------------------------------- *)
+
+(* Inclusive (lo, hi) parameter ranges, mirroring the knobs of the paper's
+   Table 3 (workload: task counts, execution times, laxity) and Table 4
+   (cluster capacities), scaled down for fast shrinking. *)
+type params = {
+  n_jobs : int * int;
+  n_maps : int * int;
+  n_reduces : int * int;
+  exec : int * int;
+  est : int * int;  (** s_j offset: > 0 makes an AR job *)
+  slack : int * int;  (** deadline laxity beyond est + work/2 *)
+  cap : int * int;  (** per-pool slot count of the combined resource *)
+}
+
+let default_params =
+  {
+    n_jobs = (1, 5);
+    n_maps = (1, 4);
+    n_reduces = (0, 3);
+    exec = (1, 30);
+    est = (0, 50);
+    slack = (0, 120);
+    cap = (1, 3);
+  }
+
+(* Small instances whose exact B&B always terminates quickly — for
+   properties that need every solve to prove optimality. *)
+let tiny_params =
+  {
+    default_params with
+    n_jobs = (1, 4);
+    n_maps = (1, 3);
+    n_reduces = (0, 2);
+    exec = (1, 20);
+    slack = (0, 60);
+  }
+
+let range (lo, hi) = QCheck.Gen.int_range lo hi
+
+let gen_job ?(p = default_params) id =
+  let open QCheck.Gen in
+  let* n_maps = range p.n_maps in
+  let* n_reduces = range p.n_reduces in
+  let* maps = list_repeat n_maps (range p.exec) in
+  let* reduces = list_repeat n_reduces (range p.exec) in
+  let* est = range p.est in
+  let* slack = range p.slack in
+  let total = List.fold_left ( + ) 0 maps + List.fold_left ( + ) 0 reduces in
+  return
+    (mk_job ~id ~est ~deadline:(est + (total / 2) + slack) ~maps ~reduces ())
+
+let gen_instance ?(p = default_params) () =
+  let open QCheck.Gen in
+  let* n_jobs = range p.n_jobs in
+  let* jobs = flatten_l (List.init n_jobs (fun id -> gen_job ~p id)) in
+  let* map_cap = range p.cap in
+  let* reduce_cap = range p.cap in
+  return (instance ~map_cap ~reduce_cap jobs)
+
+let gen_cluster =
+  let open QCheck.Gen in
+  let* m = range (1, 4) in
+  let* map_capacity = range (1, 3) in
+  let* reduce_capacity = range (1, 3) in
+  return (T.uniform_cluster ~m ~map_capacity ~reduce_capacity)
+
+(* Shrink by dropping whole jobs, then by halving single-job task durations.
+   Both rebuild through [of_fresh_jobs] with the original capacities and
+   preserve task ids, so a shrunk counter-example still names the same
+   tasks. *)
+let shrink_instance (inst : Instance.t) yield =
+  let rebuild jobs =
+    Instance.of_fresh_jobs ~now:inst.Instance.now
+      ~map_capacity:inst.Instance.map_capacity
+      ~reduce_capacity:inst.Instance.reduce_capacity jobs
+  in
+  let jobs =
+    Array.to_list
+      (Array.map (fun (pj : Instance.pending_job) -> pj.Instance.job)
+         inst.Instance.jobs)
+  in
+  if List.length jobs > 1 then
+    List.iteri
+      (fun i _ -> yield (rebuild (List.filteri (fun j _ -> j <> i) jobs)))
+      jobs;
+  List.iteri
+    (fun i (job : T.job) ->
+      let halve (t : T.task) =
+        if t.T.exec_time > 1 then { t with T.exec_time = t.T.exec_time / 2 }
+        else t
+      in
+      let job' =
+        {
+          job with
+          T.map_tasks = Array.map halve job.T.map_tasks;
+          reduce_tasks = Array.map halve job.T.reduce_tasks;
+        }
+      in
+      if job' <> job then
+        yield (rebuild (List.mapi (fun j x -> if j = i then job' else x) jobs)))
+    jobs
+
+let arb_instance_of ?(p = default_params) () =
+  QCheck.make
+    ~print:(Format.asprintf "%a" Instance.pp)
+    ~shrink:shrink_instance (gen_instance ~p ())
+
+let arb_instance = arb_instance_of ()
+let arb_tiny_instance = arb_instance_of ~p:tiny_params ()

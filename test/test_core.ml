@@ -6,7 +6,7 @@ module Dispatch = Sched.Dispatch
 let cluster2x2 = T.uniform_cluster ~m:2 ~map_capacity:2 ~reduce_capacity:2
 
 let mk_task ~id ?(job = 0) ?(kind = T.Map_task) ~e () =
-  { T.task_id = id; job_id = job; kind; exec_time = e; capacity_req = 1 }
+  Gen.mk_task ~id ~job ~kind ~e
 
 (* --- matchmaker --------------------------------------------------------- *)
 
@@ -86,21 +86,7 @@ let test_spread_evenly_exact_division () =
 
 (* --- manager ------------------------------------------------------------- *)
 
-let counter = ref 100
-
-let mk_job ~id ?(arrival = 0) ?(est = 0) ~deadline ~maps ~reduces () =
-  let fresh kind e =
-    incr counter;
-    { T.task_id = !counter; job_id = id; kind; exec_time = e; capacity_req = 1 }
-  in
-  {
-    T.id;
-    arrival;
-    earliest_start = max est arrival;
-    deadline;
-    map_tasks = Array.of_list (List.map (fresh T.Map_task) maps);
-    reduce_tasks = Array.of_list (List.map (fresh T.Reduce_task) reduces);
-  }
+let mk_job = Gen.mk_job
 
 let validating_config =
   { Mrcp.Manager.default_config with Mrcp.Manager.validate = true }

@@ -7,29 +7,10 @@ module T = Mapreduce.Types
 module Instance = Sched.Instance
 module Solution = Sched.Solution
 
-let mk_task ~id ~job ~kind ~e =
-  { T.task_id = id; job_id = job; kind; exec_time = e; capacity_req = 1 }
-
-(* A builder for small jobs: [maps] and [reduces] are duration lists. *)
-let task_counter = ref 1000
-
-let mk_job ~id ?(arrival = 0) ?(est = 0) ~deadline ~maps ~reduces () =
-  let fresh kind e =
-    incr task_counter;
-    mk_task ~id:!task_counter ~job:id ~kind ~e
-  in
-  {
-    T.id;
-    arrival;
-    earliest_start = est;
-    deadline;
-    map_tasks = Array.of_list (List.map (fresh T.Map_task) maps);
-    reduce_tasks = Array.of_list (List.map (fresh T.Reduce_task) reduces);
-  }
-
-let instance ?(now = 0) ?(map_cap = 2) ?(reduce_cap = 2) jobs =
-  Instance.of_fresh_jobs ~now ~map_capacity:map_cap ~reduce_capacity:reduce_cap
-    jobs
+(* Builders are shared across the test binaries (see gen.ml). *)
+let mk_task = Gen.mk_task
+let mk_job = Gen.mk_job
+let instance = Gen.instance
 
 let solve ?options inst = Cp.Solver.solve ?options inst
 
@@ -609,25 +590,7 @@ let test_direct_rejects_mismatched_cluster () =
 
 (* --- qcheck properties ------------------------------------------------ *)
 
-let gen_instance =
-  let open QCheck.Gen in
-  let gen_job id =
-    let* n_maps = int_range 1 4 in
-    let* n_reduces = int_range 0 3 in
-    let* maps = list_repeat n_maps (int_range 1 30) in
-    let* reduces = list_repeat n_reduces (int_range 1 30) in
-    let* est = int_range 0 50 in
-    let* slack = int_range 0 120 in
-    let total = List.fold_left ( + ) 0 maps + List.fold_left ( + ) 0 reduces in
-    return (mk_job ~id ~est ~deadline:(est + (total / 2) + slack) ~maps ~reduces ())
-  in
-  let* n_jobs = int_range 1 5 in
-  let* jobs = flatten_l (List.init n_jobs gen_job) in
-  let* map_cap = int_range 1 3 in
-  let* reduce_cap = int_range 1 3 in
-  return (instance ~map_cap ~reduce_cap jobs)
-
-let arb_instance = QCheck.make ~print:(Format.asprintf "%a" Instance.pp) gen_instance
+let arb_instance = Gen.arb_instance
 
 let prop_solution_feasible =
   QCheck.Test.make ~count:150 ~name:"cp solution always feasible" arb_instance
@@ -650,6 +613,42 @@ let prop_objective_at_least_lower_bound =
     (fun inst ->
       let sol, stats = solve inst in
       sol.Solution.late_jobs >= stats.Cp.Solver.lower_bound)
+
+(* The "sequential replica" guarantee from the portfolio PR, now checked on
+   random instances instead of three hand-written cases: a 1-domain portfolio
+   run must be bit-identical to the sequential solver — same start for every
+   task, same objective, same search counters, same proof flag. *)
+let prop_portfolio_domains1_bit_identical =
+  let options =
+    {
+      Cp.Solver.default_options with
+      Cp.Solver.exact_task_limit = 12;
+      time_limit = 10. (* generous: stall/fail limits terminate *);
+      fail_limit = 2_000;
+      seed = 7;
+    }
+  in
+  QCheck.Test.make ~count:200
+    ~name:"portfolio domains=1 bit-identical to sequential solver"
+    arb_instance (fun inst ->
+      let seq_sol, seq = Cp.Solver.solve ~options inst in
+      let par_sol, p = Cp.Portfolio.solve ~domains:1 ~options inst in
+      let base = p.Cp.Portfolio.base in
+      let same_starts =
+        Hashtbl.length seq_sol.Solution.starts
+        = Hashtbl.length par_sol.Solution.starts
+        && Hashtbl.fold
+             (fun id s acc ->
+               acc && Hashtbl.find_opt par_sol.Solution.starts id = Some s)
+             seq_sol.Solution.starts true
+      in
+      same_starts
+      && seq_sol.Solution.late_jobs = par_sol.Solution.late_jobs
+      && seq_sol.Solution.total_tardiness = par_sol.Solution.total_tardiness
+      && seq.Cp.Solver.nodes = base.Cp.Solver.nodes
+      && seq.Cp.Solver.failures = base.Cp.Solver.failures
+      && seq.Cp.Solver.lns_moves = base.Cp.Solver.lns_moves
+      && seq.Cp.Solver.proved_optimal = base.Cp.Solver.proved_optimal)
 
 let prop_portfolio_no_worse_than_sequential =
   QCheck.Test.make ~count:40
@@ -768,6 +767,7 @@ let () =
             prop_solution_feasible;
             prop_no_worse_than_greedy;
             prop_objective_at_least_lower_bound;
+            prop_portfolio_domains1_bit_identical;
             prop_portfolio_no_worse_than_sequential;
             prop_optimal_matches_bruteforce;
           ] );

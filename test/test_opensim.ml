@@ -5,21 +5,7 @@
 module T = Mapreduce.Types
 module Sim = Opensim.Simulator
 
-let counter = ref 0
-
-let mk_job ~id ?(arrival = 0) ?(est = 0) ~deadline ~maps ~reduces () =
-  let fresh kind e =
-    incr counter;
-    { T.task_id = !counter; job_id = id; kind; exec_time = e; capacity_req = 1 }
-  in
-  {
-    T.id;
-    arrival;
-    earliest_start = max est arrival;
-    deadline;
-    map_tasks = Array.of_list (List.map (fresh T.Map_task) maps);
-    reduce_tasks = Array.of_list (List.map (fresh T.Reduce_task) reduces);
-  }
+let mk_job = Gen.mk_job
 
 let mrcp_driver ?(config = Mrcp.Manager.default_config) cluster =
   let config = { config with Mrcp.Manager.validate = true } in
@@ -44,7 +30,7 @@ let all_drivers cluster =
 let test_single_job_all_managers () =
   List.iter
     (fun (name, driver) ->
-      counter := 0;
+      Gen.reset_tasks ();
       let cluster = () in
       ignore cluster;
       let jobs =
@@ -60,7 +46,7 @@ let test_single_job_all_managers () =
 let test_open_stream_all_managers () =
   List.iter
     (fun (name, driver) ->
-      counter := 0;
+      Gen.reset_tasks ();
       let jobs =
         List.init 10 (fun i ->
             mk_job ~id:i ~arrival:(i * 3000)
@@ -75,7 +61,7 @@ let test_open_stream_all_managers () =
 let test_ar_jobs_respect_est_all_managers () =
   List.iter
     (fun (name, driver) ->
-      counter := 0;
+      Gen.reset_tasks ();
       let jobs =
         [
           mk_job ~id:0 ~arrival:0 ~est:50_000 ~deadline:200_000
@@ -95,7 +81,7 @@ let test_ar_jobs_respect_est_all_managers () =
 
 let test_turnaround_measured_from_est () =
   (* T is sum(CT - s_j)/n: an AR job idle-waiting does not inflate T *)
-  counter := 0;
+  Gen.reset_tasks ();
   let cluster = T.uniform_cluster ~m:1 ~map_capacity:1 ~reduce_capacity:1 in
   let jobs =
     [ mk_job ~id:0 ~arrival:0 ~est:100_000 ~deadline:300_000 ~maps:[ 10_000 ] ~reduces:[] () ]
@@ -112,7 +98,7 @@ let test_turnaround_measured_from_est () =
    instance (deterministic, same default seed). *)
 let test_closed_batch_matches_solver () =
   let cluster = T.uniform_cluster ~m:3 ~map_capacity:2 ~reduce_capacity:1 in
-  counter := 0;
+  Gen.reset_tasks ();
   let jobs =
     List.init 8 (fun i ->
         mk_job ~id:i
@@ -138,7 +124,7 @@ let test_closed_batch_matches_solver () =
     && r.Sim.max_invocation_s <= r.Sim.total_overhead_s +. 1e-9)
 
 let test_utilization_accounting () =
-  counter := 0;
+  Gen.reset_tasks ();
   let cluster = T.uniform_cluster ~m:1 ~map_capacity:1 ~reduce_capacity:1 in
   let jobs =
     [ mk_job ~id:0 ~deadline:60_000 ~maps:[ 10_000 ] ~reduces:[ 5000 ] () ]
@@ -154,7 +140,7 @@ let test_utilization_accounting () =
         (Float.abs (ru -. (1. /. 3.)) < 1e-9)
   | _ -> Alcotest.fail "expected utilizations");
   (* without ~cluster the utilizations are not computed *)
-  counter := 0;
+  Gen.reset_tasks ();
   let jobs =
     [ mk_job ~id:0 ~deadline:60_000 ~maps:[ 10_000 ] ~reduces:[ 5000 ] () ]
   in
@@ -167,7 +153,7 @@ let test_contention_minedf_vs_mrcp () =
      MinEDF-WC *)
   let cluster = T.uniform_cluster ~m:1 ~map_capacity:1 ~reduce_capacity:1 in
   let make_jobs () =
-    counter := 0;
+    Gen.reset_tasks ();
     [
       mk_job ~id:0 ~deadline:35_000 ~maps:[ 10_000 ] ~reduces:[] ();
       mk_job ~id:1 ~arrival:1 ~deadline:21_000 ~maps:[ 10_000 ] ~reduces:[] ();

@@ -1,0 +1,301 @@
+(* Property and regression tests for warm-start incremental re-solving:
+   solver-level properties over the warm candidate / starting incumbent, and
+   manager-level tests for the plan-cache-hit fast path — including the
+   deferral re-entry regression (a deferred job whose effective s_j is bumped
+   past its own deadline must still go through the full validated path). *)
+
+module T = Mapreduce.Types
+module Instance = Sched.Instance
+module Solution = Sched.Solution
+module Dispatch = Sched.Dispatch
+
+(* CI runs the suite under a domains matrix: MRCP_TEST_DOMAINS picks how many
+   domains the manager-level tests solve with (default 1; the multi-domain
+   leg exercises the portfolio's warm-start plumbing end to end). *)
+let test_domains =
+  match Sys.getenv_opt "MRCP_TEST_DOMAINS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
+
+(* Proof-complete options: on Gen.tiny instances every solve runs the exact
+   B&B to exhaustion, so warm and cold must both prove and land on the same
+   objective. *)
+let proof_options =
+  {
+    Cp.Solver.default_options with
+    Cp.Solver.exact_task_limit = 200;
+    fail_limit = 1_000_000;
+    time_limit = 60.;
+    seed = 5;
+  }
+
+let incumbent_of_starts starts ~changed =
+  { Cp.Solver.carried_starts = starts; changed_jobs = changed }
+
+(* Deterministically corrupt a carried plan: drop some entries (partial
+   carry-over), shift others (possibly below est, i.e. stale; possibly
+   forward into a capacity or precedence conflict). *)
+let corrupt_starts ~salt starts =
+  let carried = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun id s ->
+      match (id + salt) mod 5 with
+      | 0 -> ()
+      | 1 -> Hashtbl.replace carried id (max 0 (s - 17))
+      | 2 -> Hashtbl.replace carried id (s + (3 * (salt mod 13)))
+      | _ -> Hashtbl.replace carried id s)
+    starts;
+  carried
+
+let arb_instance_with_salt =
+  QCheck.pair Gen.arb_tiny_instance QCheck.(int_bound 1000)
+
+(* (a) A warm-started solve never returns a worse Σ N_j than a cold solve on
+   the same instance and seed.  Under proof-complete options both runs prove
+   optimality, so the objectives must be equal — even when the carried plan
+   is partial or corrupted. *)
+let prop_warm_never_worse_than_cold =
+  QCheck.Test.make ~count:75
+    ~name:"warm solve never worse than cold (equal under proofs)"
+    arb_instance_with_salt (fun (inst, salt) ->
+      let cold_sol, cold_stats = Cp.Solver.solve ~options:proof_options inst in
+      let carried = corrupt_starts ~salt cold_sol.Solution.starts in
+      let warm_options =
+        {
+          proof_options with
+          Cp.Solver.warm_start = Some (incumbent_of_starts carried ~changed:[]);
+        }
+      in
+      let warm_sol, warm_stats = Cp.Solver.solve ~options:warm_options inst in
+      QCheck.assume cold_stats.Cp.Solver.proved_optimal;
+      QCheck.assume warm_stats.Cp.Solver.proved_optimal;
+      Solution.feasibility_errors inst warm_sol = []
+      && warm_sol.Solution.late_jobs = cold_sol.Solution.late_jobs)
+
+(* (b) A completed carried-over incumbent always passes the Table-1 oracle,
+   no matter how stale or conflicting the carried entries are: warm_candidate
+   either repairs the plan into a feasible one or returns None. *)
+let prop_warm_candidate_always_feasible =
+  QCheck.Test.make ~count:200
+    ~name:"warm candidate always passes the Table-1 oracle"
+    arb_instance_with_salt (fun (inst, salt) ->
+      let base, _ = Cp.Solver.solve ~options:proof_options inst in
+      let carried = corrupt_starts ~salt base.Solution.starts in
+      match
+        Cp.Solver.warm_candidate inst (incumbent_of_starts carried ~changed:[])
+      with
+      | None -> true
+      | Some cand -> Solution.feasibility_errors inst cand = [])
+
+(* (c) The cache-hit fast path fires iff the carried plan (completed around
+   the instance) is feasible and already meets the lower bound.  The solver
+   exposes the hit as warm_seeded ∧ seed_late ≤ lower_bound ∧ no search. *)
+let prop_fast_path_iff_feasible_and_bound_optimal =
+  QCheck.Test.make ~count:100
+    ~name:"cache-hit fast path fires iff carried plan feasible and \
+           bound-optimal"
+    arb_instance_with_salt (fun (inst, salt) ->
+      let base, _ = Cp.Solver.solve ~options:proof_options inst in
+      let carried = corrupt_starts ~salt base.Solution.starts in
+      let inc = incumbent_of_starts carried ~changed:[] in
+      let lb = Cp.Solver.late_lower_bound inst in
+      let expect_hit =
+        match Cp.Solver.warm_candidate inst inc with
+        | Some cand -> cand.Solution.late_jobs <= lb
+        | None -> false
+      in
+      let _, stats =
+        Cp.Solver.solve
+          ~options:{ proof_options with Cp.Solver.warm_start = Some inc }
+          inst
+      in
+      let hit =
+        stats.Cp.Solver.warm_seeded
+        && stats.Cp.Solver.seed_late <= stats.Cp.Solver.lower_bound
+        && stats.Cp.Solver.nodes = 0
+      in
+      hit = expect_hit)
+
+(* --- manager-level cache-hit plumbing ----------------------------------- *)
+
+let cluster2x2 = T.uniform_cluster ~m:2 ~map_capacity:2 ~reduce_capacity:2
+
+let base_config =
+  {
+    Mrcp.Manager.default_config with
+    Mrcp.Manager.validate = true;
+    domains = test_domains;
+  }
+
+let last_stats mgr =
+  match Mrcp.Manager.last_solver_stats mgr with
+  | Some s -> s
+  | None -> Alcotest.fail "manager has no solver stats"
+
+(* An arrival that does not disturb the carried plan: the fast path fires,
+   the hit is counted, and no search runs. *)
+let test_cache_hit_on_undisturbed_plan () =
+  Gen.reset_tasks ();
+  let mgr = Mrcp.Manager.create ~cluster:cluster2x2 base_config in
+  let j0 =
+    Gen.mk_job ~id:0 ~est:5_000 ~deadline:100_000 ~maps:[ 1000; 1000 ]
+      ~reduces:[ 500 ] ()
+  in
+  Mrcp.Manager.submit mgr ~now:0 j0;
+  Mrcp.Manager.invoke mgr ~now:0;
+  Alcotest.(check int) "cold solve, no hit" 0 (Mrcp.Manager.cache_hit_count mgr);
+  let j1 =
+    Gen.mk_job ~id:1 ~arrival:100 ~deadline:100_000 ~maps:[ 1000 ] ~reduces:[]
+      ()
+  in
+  Mrcp.Manager.submit mgr ~now:100 j1;
+  Mrcp.Manager.invoke mgr ~now:100;
+  Alcotest.(check int) "two passes" 2 (Mrcp.Manager.solve_count mgr);
+  Alcotest.(check int) "plan cache hit" 1 (Mrcp.Manager.cache_hit_count mgr);
+  let s = last_stats mgr in
+  Alcotest.(check bool) "warm seeded" true s.Cp.Solver.warm_seeded;
+  Alcotest.(check int) "no search ran" 0 s.Cp.Solver.nodes;
+  Alcotest.(check bool) "bound met" true
+    (s.Cp.Solver.seed_late <= s.Cp.Solver.lower_bound)
+
+(* A tight arrival that only fits if the carried job is pushed back: the
+   carried plan completed around it is feasible but suboptimal, so the fast
+   path must NOT fire and the re-solve must find the 0-late plan. *)
+let test_no_hit_when_replanning_saves_a_job () =
+  Gen.reset_tasks ();
+  let cluster = T.uniform_cluster ~m:1 ~map_capacity:1 ~reduce_capacity:1 in
+  let mgr = Mrcp.Manager.create ~cluster base_config in
+  let j0 =
+    Gen.mk_job ~id:0 ~est:2_000 ~deadline:50_000 ~maps:[ 10_000 ] ~reduces:[]
+      ()
+  in
+  Mrcp.Manager.submit mgr ~now:0 j0;
+  Mrcp.Manager.invoke mgr ~now:0;
+  (* carried: j0's map at [2000,12000).  j1 (map 3000, deadline 3200) cannot
+     fit in the [100,2000) gap, so the carried completion is late for j1
+     while running j1 first saves both. *)
+  let j1 =
+    Gen.mk_job ~id:1 ~arrival:100 ~deadline:3_200 ~maps:[ 3_000 ] ~reduces:[]
+      ()
+  in
+  Mrcp.Manager.submit mgr ~now:100 j1;
+  Mrcp.Manager.invoke mgr ~now:100;
+  Alcotest.(check int) "no cache hit" 0 (Mrcp.Manager.cache_hit_count mgr);
+  let plan = Mrcp.Manager.plan mgr in
+  let start_of job_id =
+    match
+      List.find_opt
+        (fun (d : Dispatch.t) -> d.Dispatch.task.T.job_id = job_id)
+        plan
+    with
+    | Some d -> d.Dispatch.start
+    | None -> Alcotest.fail (Printf.sprintf "job %d not in plan" job_id)
+  in
+  Alcotest.(check bool) "j1 replanned on time" true
+    (start_of 1 + 3_000 <= 3_200);
+  Alcotest.(check bool) "j0 pushed behind j1" true (start_of 0 >= 3_100 - 100)
+
+(* warm_start = false is the paper's cold re-solve: no hits, ever. *)
+let test_no_hits_when_disabled () =
+  Gen.reset_tasks ();
+  let config = { base_config with Mrcp.Manager.warm_start = false } in
+  let mgr = Mrcp.Manager.create ~cluster:cluster2x2 config in
+  let j0 =
+    Gen.mk_job ~id:0 ~est:5_000 ~deadline:100_000 ~maps:[ 1000; 1000 ]
+      ~reduces:[ 500 ] ()
+  in
+  Mrcp.Manager.submit mgr ~now:0 j0;
+  Mrcp.Manager.invoke mgr ~now:0;
+  let j1 =
+    Gen.mk_job ~id:1 ~arrival:100 ~deadline:100_000 ~maps:[ 1000 ] ~reduces:[]
+      ()
+  in
+  Mrcp.Manager.submit mgr ~now:100 j1;
+  Mrcp.Manager.invoke mgr ~now:100;
+  Alcotest.(check int) "two passes" 2 (Mrcp.Manager.solve_count mgr);
+  Alcotest.(check int) "no hits with warm start off" 0
+    (Mrcp.Manager.cache_hit_count mgr);
+  Alcotest.(check bool) "never warm seeded" false
+    (last_stats mgr).Cp.Solver.warm_seeded
+
+(* Same open stream, warm on vs off: identical Σ N_j (warm-starting is an
+   overhead optimization, not a policy change), all jobs complete under full
+   validation. *)
+let test_stream_warm_equals_cold_objective () =
+  let cluster = T.uniform_cluster ~m:2 ~map_capacity:2 ~reduce_capacity:2 in
+  let jobs () =
+    Gen.reset_tasks ();
+    List.init 10 (fun i ->
+        Gen.mk_job ~id:i ~arrival:(i * 2000)
+          ~deadline:((i * 2000) + 60_000)
+          ~maps:[ 3000; 4000 ] ~reduces:[ 2000 ] ())
+  in
+  let run warm_start =
+    let config = { base_config with Mrcp.Manager.warm_start } in
+    let driver =
+      Opensim.Driver.of_mrcp (Mrcp.Manager.create ~cluster config)
+    in
+    Opensim.Simulator.run ~validate:true ~driver ~jobs:(jobs ()) ()
+  in
+  let warm = run true in
+  let cold = run false in
+  Alcotest.(check int) "all jobs complete" 10 warm.Opensim.Simulator.jobs_total;
+  Alcotest.(check int) "same late count"
+    cold.Opensim.Simulator.n_late warm.Opensim.Simulator.n_late
+
+(* --- deferral re-entry regression ---------------------------------------- *)
+
+(* A deferred job re-entering via next_wake goes through the same validated
+   path as any other arrival — including when the clock has already passed
+   its deadline, so classify bumps its effective s_j to now > d_j.  The plan
+   validator now also checks every dispatch against that bumped earliest
+   start, which previously went unchecked for re-entering deferred jobs. *)
+let test_deferred_reentry_past_deadline_validated () =
+  Gen.reset_tasks ();
+  let config = { base_config with Mrcp.Manager.deferral_window = Some 1_000 } in
+  let mgr = Mrcp.Manager.create ~cluster:cluster2x2 config in
+  let job =
+    Gen.mk_job ~id:0 ~est:50_000 ~deadline:60_000 ~maps:[ 1_000 ] ~reduces:[]
+      ()
+  in
+  Mrcp.Manager.submit mgr ~now:0 job;
+  Mrcp.Manager.invoke mgr ~now:0;
+  Alcotest.(check int) "deferred, not solved" 0 (Mrcp.Manager.solve_count mgr);
+  Alcotest.(check (option int)) "wake armed at s_j - window" (Some 49_000)
+    (Mrcp.Manager.next_wake mgr);
+  (* the next invocation only lands at 70s — past d_j = 60s *)
+  Mrcp.Manager.invoke mgr ~now:70_000;
+  Alcotest.(check int) "scheduled on re-entry" 1 (Mrcp.Manager.solve_count mgr);
+  let plan = Mrcp.Manager.plan mgr in
+  Alcotest.(check int) "map planned" 1 (List.length plan);
+  List.iter
+    (fun (d : Dispatch.t) ->
+      Alcotest.(check bool) "start respects the bumped s_j" true
+        (d.Dispatch.start >= 70_000))
+    plan;
+  Alcotest.(check int) "provably late" 1 (last_stats mgr).Cp.Solver.lower_bound
+
+let () =
+  Alcotest.run "warm_start"
+    [
+      ( "manager",
+        [
+          Alcotest.test_case "cache hit on undisturbed plan" `Quick
+            test_cache_hit_on_undisturbed_plan;
+          Alcotest.test_case "no hit when replanning saves a job" `Quick
+            test_no_hit_when_replanning_saves_a_job;
+          Alcotest.test_case "no hits when disabled" `Quick
+            test_no_hits_when_disabled;
+          Alcotest.test_case "stream: warm objective equals cold" `Quick
+            test_stream_warm_equals_cold_objective;
+          Alcotest.test_case "deferred re-entry past deadline validated"
+            `Quick test_deferred_reentry_past_deadline_validated;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_warm_never_worse_than_cold;
+            prop_warm_candidate_always_feasible;
+            prop_fast_path_iff_feasible_and_bound_optimal;
+          ] );
+    ]
