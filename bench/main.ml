@@ -427,6 +427,123 @@ let portfolio_compare ~domains ~out () =
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
+(* propagation-kernel comparison mode (--prop-compare): the same       *)
+(* branch-and-bound search run once per kernel (naive, timetable,      *)
+(* edge-finding, both) on three fixtures — a Fig. 2 Facebook batch on  *)
+(* the 64x(1,1) cluster, the contended 40-job batch, and a unary       *)
+(* cap-1 batch that engages the disjunctive edge finder — emitted as   *)
+(* JSON so BENCH_prop.json snapshots can track kernel throughput       *)
+(* across PRs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Fig. 2 workload as a single batch: Facebook-sampled jobs on the
+   64x(1,1) cluster, i.e. combined pool capacities 64/64.  8 jobs is already
+   ~600 tasks; the search is node-limited rather than run to completion. *)
+let fb_batch_instance =
+  Sched.Instance.of_fresh_jobs ~now:0 ~map_capacity:64 ~reduce_capacity:64
+    (facebook_jobs ~n:8 ~lambda:0.0004 3)
+
+(* unary pools: every pool has capacity 1, so the edge finder engages *)
+let unary_instance =
+  let rng = Simrand.Rng.create 11 in
+  let jobs =
+    List.init 8 (fun i ->
+        let maps =
+          List.init (1 + Simrand.Rng.int rng 3) (fun _ -> 1 + Simrand.Rng.int rng 20)
+        in
+        let reduces =
+          List.init (Simrand.Rng.int rng 2) (fun _ -> 1 + Simrand.Rng.int rng 20)
+        in
+        let total = List.fold_left ( + ) 0 maps + List.fold_left ( + ) 0 reduces in
+        mk_job ~id:i
+          ~est:(Simrand.Rng.int rng 20)
+          ~deadline:((total / 2) + Simrand.Rng.int rng 60)
+          ~maps ~reduces)
+  in
+  Sched.Instance.of_fresh_jobs ~now:0 ~map_capacity:1 ~reduce_capacity:1 jobs
+
+let prop_compare ~fail_limit ~out () =
+  let run_kernel ~limits inst kernel =
+    let model =
+      Cp.Model.build ~kernel inst ~horizon:(Cp.Model.default_horizon inst)
+    in
+    let greedy = Sched.Greedy.solve inst in
+    model.Cp.Model.bound := greedy.Sched.Solution.late_jobs + 1;
+    let t0 = Unix.gettimeofday () in
+    let o = Cp.Search.run model limits in
+    let dt = Unix.gettimeofday () -. t0 in
+    let late =
+      match o.Cp.Search.best with
+      | Some s -> s.Sched.Solution.late_jobs
+      | None -> greedy.Sched.Solution.late_jobs
+    in
+    let store = model.Cp.Model.store in
+    ( kernel,
+      o.Cp.Search.nodes,
+      o.Cp.Search.failures,
+      late,
+      o.Cp.Search.proved_optimal,
+      Cp.Store.stats_propagations store,
+      Cp.Store.stats_wakeups_skipped store,
+      Cp.Store.stats_scratch_reuse store,
+      Cp.Store.stats_edge_finder_prunes store,
+      dt )
+  in
+  let per_sec count t = if t > 0. then float_of_int count /. t else 0. in
+  let case name inst ~limits =
+    let runs = List.map (run_kernel ~limits inst) Cp.Propagators.all_kernels in
+    let naive_nps =
+      List.fold_left
+        (fun acc (k, nodes, _, _, _, _, _, _, _, dt) ->
+          if k = Cp.Propagators.Naive then per_sec nodes dt else acc)
+        0. runs
+    in
+    let kernels =
+      runs
+      |> List.map
+           (fun (k, nodes, failures, late, proved, props, skipped, reuse,
+                 ef_prunes, dt) ->
+             let nps = per_sec nodes dt in
+             Printf.sprintf
+               {|{"kernel":"%s","late":%d,"nodes":%d,"failures":%d,"proved":%b,"propagations":%d,"wakeups_skipped":%d,"scratch_reuse":%d,"edge_finder_prunes":%d,"elapsed_s":%.6f,"nodes_per_sec":%.1f,"props_per_sec":%.1f,"speedup_vs_naive":%.3f}|}
+               (json_escape (Cp.Propagators.kernel_to_string k))
+               late nodes failures proved props skipped reuse ef_prunes dt nps
+               (per_sec props dt)
+               (if naive_nps > 0. then nps /. naive_nps else 0.))
+      |> String.concat ","
+    in
+    Printf.sprintf {|{"case":"%s","kernels":[%s]}|} name kernels
+  in
+  let cases =
+    [
+      (* the fb batch never runs dry within any reasonable fail budget, so
+         it is node-limited instead: same node count per kernel, compare
+         wall time *)
+      case "fig2-fb8" fb_batch_instance
+        ~limits:
+          { Cp.Search.no_limits with Cp.Search.node_limit = 20_000 };
+      case "batch40" batch_instance
+        ~limits:{ Cp.Search.no_limits with Cp.Search.fail_limit };
+      case "unary8" unary_instance
+        ~limits:{ Cp.Search.no_limits with Cp.Search.fail_limit };
+    ]
+  in
+  let json =
+    Printf.sprintf
+      {|{"bench":"prop-compare","fail_limit":%d,"cases":[%s]}|} fail_limit
+      (String.concat "," cases)
+  in
+  print_endline json;
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
 (* warm-start comparison mode (--warm-compare): the Fig. 2 Facebook    *)
 (* workload (lambda = 3e-4, seed 42) simulated twice — cold re-solve   *)
 (* on every manager invocation (the paper's behaviour) vs warm-start   *)
@@ -540,6 +657,31 @@ let () =
       find 1
     in
     portfolio_compare ~domains ~out ()
+  end
+  else if Array.exists (( = ) "--prop-compare") argv then begin
+    (* bench/main.exe --prop-compare [FAIL_LIMIT] [--out FILE]:
+       per-kernel search comparison JSON on the fixture instances *)
+    let n = Array.length argv in
+    let fail_limit =
+      let rec find i =
+        if i >= n then 20_000
+        else if argv.(i) = "--prop-compare" && i + 1 < n then
+          match int_of_string_opt argv.(i + 1) with
+          | Some f when f > 0 -> f
+          | _ -> 20_000
+        else find (i + 1)
+      in
+      find 1
+    in
+    let out =
+      let rec find i =
+        if i >= n then None
+        else if argv.(i) = "--out" && i + 1 < n then Some argv.(i + 1)
+        else find (i + 1)
+      in
+      find 1
+    in
+    prop_compare ~fail_limit ~out ()
   end
   else if Array.exists (( = ) "--warm-compare") argv then begin
     (* bench/main.exe --warm-compare [JOBS] [--out FILE]:

@@ -32,7 +32,7 @@ let all_ids =
   ]
 
 let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
-    metrics no_warm_start =
+    metrics no_warm_start kernel =
   let base =
     {
       Expkit.Runner.default_config with
@@ -42,6 +42,7 @@ let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
       validate;
       instrument = metrics;
       warm_start = not no_warm_start;
+      kernel;
     }
   in
   if trace_out <> None then Obs.Trace.start ();
@@ -169,6 +170,18 @@ let no_warm_start =
            ~doc:"Disable warm-start re-solving: cold solve on every \
                  manager invocation, as in the paper.")
 
+let kernel =
+  let kernel_conv =
+    Arg.enum
+      (List.map
+         (fun k -> (Cp.Propagators.kernel_to_string k, k))
+         Cp.Propagators.all_kernels)
+  in
+  Arg.(value & opt kernel_conv Cp.Propagators.Both
+       & info [ "kernel" ]
+           ~doc:"Propagation kernel for every CP solve: timetable, \
+                 edge-finding, both (default), or naive.")
+
 let cmd =
   let expand ids =
     List.concat_map (fun id -> if id = "all" then all_ids else [ id ]) ids
@@ -176,11 +189,11 @@ let cmd =
   let term =
     Term.(
       const (fun ids reps jobs fb_jobs seed budget out validate lambdas
-                 trace_out metrics no_warm_start ->
+                 trace_out metrics no_warm_start kernel ->
           run_ids (expand ids) reps jobs fb_jobs seed budget out validate
-            lambdas trace_out metrics no_warm_start)
+            lambdas trace_out metrics no_warm_start kernel)
       $ ids_arg $ reps $ jobs $ fb_jobs $ seed $ budget $ out $ validate
-      $ lambdas $ trace_out $ metrics $ no_warm_start)
+      $ lambdas $ trace_out $ metrics $ no_warm_start $ kernel)
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")

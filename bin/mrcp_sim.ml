@@ -20,7 +20,7 @@ let print_metrics = function
 
 let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
     seed budget ordering domains deferral validate verbose replay trace_out
-    metrics no_warm_start =
+    metrics no_warm_start kernel =
   let warm_start = not no_warm_start in
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
@@ -42,6 +42,7 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
       validate;
       instrument = metrics;
       warm_start;
+      kernel;
     }
   in
   if trace_out <> None then Obs.Trace.start ();
@@ -75,7 +76,7 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
             | Expkit.Runner.Mrcp_rm | Expkit.Runner.Greedy_only ->
                 let solver =
                   { Cp.Solver.default_options with Cp.Solver.ordering;
-                    time_limit = budget; seed; instrument = metrics }
+                    time_limit = budget; seed; instrument = metrics; kernel }
                 in
                 Opensim.Driver.of_mrcp
                   (Mrcp.Manager.create ~cluster
@@ -156,6 +157,12 @@ let ordering_conv =
       ("least-laxity", Sched.Greedy.Least_laxity);
     ]
 
+let kernel_conv =
+  Arg.enum
+    (List.map
+       (fun k -> (Cp.Propagators.kernel_to_string k, k))
+       Cp.Propagators.all_kernels)
+
 let term =
   Term.(
     const run
@@ -201,7 +208,13 @@ let term =
     $ Arg.(value & flag
            & info [ "no-warm-start" ]
                ~doc:"Disable warm-start re-solving: cold solve on every \
-                     invocation, as in the paper."))
+                     invocation, as in the paper.")
+    $ Arg.(value & opt kernel_conv Cp.Propagators.Both
+           & info [ "kernel" ]
+               ~doc:"Propagation kernel: timetable (incremental time table), \
+                     edge-finding (Θ-tree filtering on unary-equivalent \
+                     pools), both (default), or naive (pre-overhaul \
+                     reference kernel)."))
 
 let cmd =
   Cmd.v

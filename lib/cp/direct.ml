@@ -30,7 +30,14 @@ type model = {
   bound_pid : Store.propagator_id;
 }
 
-let build (inst : Instance.t) ~cluster ~horizon =
+let build ?(kernel = Propagators.Both) (inst : Instance.t) ~cluster ~horizon =
+  (* the gated kernel is always the incremental time table; [kernel] decides
+     whether the energetic-reasoning failure check rides along *)
+  let energetic =
+    match kernel with
+    | Propagators.Edge_finding | Propagators.Both -> true
+    | Propagators.Naive | Propagators.Timetable -> false
+  in
   if Instance.fixed_task_count inst > 0 then
     invalid_arg "Direct.build: frozen tasks are not supported";
   if
@@ -96,7 +103,7 @@ let build (inst : Instance.t) ~cluster ~horizon =
         |> Array.of_list
       in
       if res.T.map_capacity > 0 then
-        Propagators.cumulative_gated store ~tasks:(gated T.Map_task)
+        Propagators.cumulative_gated ~energetic store ~tasks:(gated T.Map_task)
           ~capacity:res.T.map_capacity
       else if
         Array.exists (fun e -> e.task.T.kind = T.Map_task) entries
@@ -110,13 +117,14 @@ let build (inst : Instance.t) ~cluster ~horizon =
                     if Store.is_fixed s e.avar && Store.value s e.avar = r
                     then raise (Store.Fail "no map slots on resource"))
               in
-              Store.watch store e.avar pid;
+              (* only reads fixedness: a fix event is the only trigger *)
+              Store.watch_fix store e.avar pid;
               Store.schedule store pid
             end)
           entries;
       if res.T.reduce_capacity > 0 then
-        Propagators.cumulative_gated store ~tasks:(gated T.Reduce_task)
-          ~capacity:res.T.reduce_capacity
+        Propagators.cumulative_gated ~energetic store
+          ~tasks:(gated T.Reduce_task) ~capacity:res.T.reduce_capacity
       else if Array.exists (fun e -> e.task.T.kind = T.Reduce_task) entries
       then
         Array.iter
@@ -127,7 +135,7 @@ let build (inst : Instance.t) ~cluster ~horizon =
                     if Store.is_fixed s e.avar && Store.value s e.avar = r
                     then raise (Store.Fail "no reduce slots on resource"))
               in
-              Store.watch store e.avar pid;
+              Store.watch_fix store e.avar pid;
               Store.schedule store pid
             end)
           entries)
@@ -270,11 +278,11 @@ let rec dfs st postponed =
               postponed'.(i) <- est;
               dfs st postponed'))
 
-let solve ?(limits = Search.no_limits) ~cluster (inst : Instance.t) =
+let solve ?(limits = Search.no_limits) ?kernel ~cluster (inst : Instance.t) =
   let t0 = Unix.gettimeofday () in
   let greedy = Sched.Greedy.solve inst in
   let horizon = Model.default_horizon inst in
-  let model = build inst ~cluster ~horizon in
+  let model = build ?kernel inst ~cluster ~horizon in
   model.bound := greedy.Solution.late_jobs + 1;
   let st =
     { model; limits; best = None; nodes = 0; failures = 0; ticks = 1 }

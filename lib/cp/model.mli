@@ -29,10 +29,13 @@ type t = {
   horizon : int;
 }
 
-val build : Sched.Instance.t -> horizon:int -> t
+val build : ?kernel:Propagators.kernel -> Sched.Instance.t -> horizon:int -> t
 (** Construct and post all constraints.  Does not propagate; callers run
     {!Store.propagate} (and should catch {!Store.Fail} — an instance can be
-    infeasible only if the horizon is too small, since lateness is soft). *)
+    infeasible only if the horizon is too small, since lateness is soft).
+    [kernel] selects the capacity-constraint implementation (default
+    {!Propagators.Both}: incremental time table everywhere, plus
+    edge finding on unary-equivalent pools). *)
 
 val default_horizon : Sched.Instance.t -> int
 (** A horizon provably large enough to contain some optimal semi-active

@@ -1,13 +1,31 @@
 type term = { start : Store.var; duration : int; demand : int }
 
+type kernel = Naive | Timetable | Edge_finding | Both
+
+let kernel_to_string = function
+  | Naive -> "naive"
+  | Timetable -> "timetable"
+  | Edge_finding -> "edge-finding"
+  | Both -> "both"
+
+let kernel_of_string = function
+  | "naive" -> Some Naive
+  | "timetable" -> Some Timetable
+  | "edge-finding" | "edge_finding" -> Some Edge_finding
+  | "both" -> Some Both
+  | _ -> None
+
+let all_kernels = [ Naive; Timetable; Edge_finding; Both ]
+
 let ge_offset s y x c =
   let pid =
-    Store.register s ~priority:0 ~name:"ge_offset" (fun s ->
+    Store.register s ~priority:0 ~name:"ge_offset" ~idempotent:true (fun s ->
         Store.set_min s y (Store.min_of s x + c);
         Store.set_max s x (Store.max_of s y - c))
   in
-  Store.watch s x pid;
-  Store.watch s y pid;
+  (* the rule only reads x's lower and y's upper bound *)
+  Store.watch_min s x pid;
+  Store.watch_max s y pid;
   Store.schedule s pid
 
 let precedence s ~before ~duration ~after = ge_offset s after before duration
@@ -17,14 +35,14 @@ let max_of s ~result ~terms ~floor =
   | [] ->
       (* result is the constant floor *)
       let pid =
-        Store.register s ~priority:0 ~name:"max_of" (fun s ->
+        Store.register s ~priority:0 ~name:"max_of" ~idempotent:true (fun s ->
             Store.set_min s result floor;
             Store.set_max s result floor)
       in
       Store.schedule s pid
   | _ ->
       let pid =
-        Store.register s ~priority:1 ~name:"max_of" (fun s ->
+        Store.register s ~priority:1 ~name:"max_of" ~idempotent:true (fun s ->
             (* result >= every term and >= floor *)
             Store.set_min s result floor;
             let max_min = ref floor and max_max = ref floor in
@@ -40,25 +58,27 @@ let max_of s ~result ~terms ~floor =
             let ub = Store.max_of s result in
             List.iter (fun (x, c) -> Store.set_max s x (ub - c)) terms)
       in
+      (* reads both bounds of the terms but only result's upper bound (no
+         rule propagates from result's min back to the terms) *)
       List.iter (fun (x, _) -> Store.watch s x pid) terms;
-      Store.watch s result pid;
+      Store.watch_max s result pid;
       Store.schedule s pid
 
 let lateness s ~late ~completion ~deadline =
   let pid =
-    Store.register s ~priority:0 ~name:"lateness" (fun s ->
+    Store.register s ~priority:0 ~name:"lateness" ~idempotent:true (fun s ->
         if Store.min_of s completion > deadline then Store.set_min s late 1;
         if Store.max_of s late = 0 then Store.set_max s completion deadline;
         if Store.max_of s completion <= deadline then Store.set_max s late 0)
   in
+  (* reads completion's min and max, but only late's upper bound *)
   Store.watch s completion pid;
-  Store.watch s late pid;
+  Store.watch_max s late pid;
   Store.schedule s pid
 
 let sum_lt_bound s ~vars ~bound =
-  let pid_ref = ref None in
   let pid =
-    Store.register s ~priority:0 ~name:"sum_lt_bound" (fun s ->
+    Store.register s ~priority:0 ~name:"sum_lt_bound" ~idempotent:true (fun s ->
         let sum_min = Array.fold_left (fun acc v -> acc + Store.min_of s v) 0 vars in
         if sum_min >= !bound then raise (Store.Fail "objective bound");
         if sum_min = !bound - 1 then
@@ -67,22 +87,28 @@ let sum_lt_bound s ~vars ~bound =
             (fun v -> if Store.min_of s v = 0 then Store.set_max s v 0)
             vars)
   in
-  pid_ref := Some pid;
-  Array.iter (fun v -> Store.watch s v pid) vars;
+  (* only the lower bounds enter the sum *)
+  Array.iter (fun v -> Store.watch_min s v pid) vars;
   Store.schedule s pid;
   pid
 
 (* --- time-table cumulative ------------------------------------------------ *)
 
-(* One propagator instance keeps scratch buffers to avoid reallocation. *)
-let cumulative s ~tasks ~fixed ~capacity =
+let check_cumulative_args ~tasks ~capacity =
   if capacity <= 0 then invalid_arg "cumulative: capacity must be positive";
   Array.iter
     (fun t ->
       if t.duration < 0 || t.demand < 0 then
         invalid_arg "cumulative: negative duration/demand";
       if t.demand > capacity then raise (Store.Fail "task demand > capacity"))
-    tasks;
+    tasks
+
+(* Reference kernel, kept verbatim as the [Naive] baseline for differential
+   tests and benchmarks: rebuilds the profile with list allocation and a
+   full O(n log n) sort on every run.  [cumulative] below computes the same
+   fixpoint without allocating. *)
+let cumulative_naive s ~tasks ~fixed ~capacity =
+  check_cumulative_args ~tasks ~capacity;
   let n = Array.length tasks in
   (* events of the frozen tasks never change: precompute *)
   let fixed_events =
@@ -177,9 +203,360 @@ let cumulative s ~tasks ~fixed ~capacity =
       done
     end
   in
+  let pid = Store.register s ~priority:2 ~name:"cumulative_naive" run in
+  Array.iter (fun t -> Store.watch s t.start pid) tasks;
+  Store.schedule s pid
+
+(* Allocation-free incremental time-table kernel.  Same propagation (segment
+   profile + per-task overload test) as [cumulative_naive], so search
+   trajectories are identical; only the mechanics differ:
+
+   - every task owns two stable event slots (2i for the compulsory-part
+     start, 2i+1 for its end); frozen occupations live in the tail slots,
+     written once.  Absent compulsory parts park their slots at a [max_int]
+     time sentinel, which sorts past every real event.
+   - only tasks whose start bounds moved since the previous run rewrite
+     their slots (value-compared cache, so backtracking needs no hook);
+   - the sort is an insertion sort over a persistent permutation, which is
+     nearly sorted between consecutive runs;
+   - if the previous run completed without pruning anything and no bounds
+     moved since, the store state is a witnessed fixpoint of this
+     propagator and the run is skipped outright ([Store.note_scratch_reuse]).
+     [valid] is false from run entry to successful no-change completion, so
+     a state identical to one that pruned — or failed — is never skipped. *)
+let cumulative s ~tasks ~fixed ~capacity =
+  check_cumulative_args ~tasks ~capacity;
+  let n = Array.length tasks in
+  let nfix =
+    Array.fold_left
+      (fun acc (_, d, r) -> if d > 0 && r > 0 then acc + 1 else acc)
+      0 fixed
+  in
+  let ne = (2 * n) + (2 * nfix) in
+  let ev_time = Array.make (max 1 ne) max_int in
+  let ev_delta = Array.make (max 1 ne) 0 in
+  let k = ref (2 * n) in
+  Array.iter
+    (fun (start, d, r) ->
+      if d > 0 && r > 0 then begin
+        ev_time.(!k) <- start;
+        ev_delta.(!k) <- r;
+        ev_time.(!k + 1) <- start + d;
+        ev_delta.(!k + 1) <- -r;
+        k := !k + 2
+      end)
+    fixed;
+  let perm = Array.init (max 1 ne) (fun i -> i) in
+  let comp_lo = Array.make (max 1 n) max_int in
+  let comp_hi = Array.make (max 1 n) max_int in
+  (* start bounds each task's slots were last computed from *)
+  let cache_est = Array.make (max 1 n) min_int in
+  let cache_lst = Array.make (max 1 n) min_int in
+  let valid = ref false in
+  let seg_a = Array.make (ne + 1) 0 in
+  let seg_b = Array.make (ne + 1) 0 in
+  let seg_u = Array.make (ne + 1) 0 in
+  let run s =
+    (* 1. refresh event slots of tasks whose bounds moved *)
+    let moved = ref false in
+    for i = 0 to n - 1 do
+      let t = tasks.(i) in
+      if t.duration > 0 && t.demand > 0 then begin
+        let est = Store.min_of s t.start and lst = Store.max_of s t.start in
+        if est <> cache_est.(i) || lst <> cache_lst.(i) then begin
+          moved := true;
+          cache_est.(i) <- est;
+          cache_lst.(i) <- lst;
+          let lo = lst and hi = est + t.duration in
+          if lo < hi then begin
+            comp_lo.(i) <- lo;
+            comp_hi.(i) <- hi;
+            ev_time.(2 * i) <- lo;
+            ev_delta.(2 * i) <- t.demand;
+            ev_time.((2 * i) + 1) <- hi;
+            ev_delta.((2 * i) + 1) <- -t.demand
+          end
+          else begin
+            comp_lo.(i) <- max_int;
+            comp_hi.(i) <- max_int;
+            ev_time.(2 * i) <- max_int;
+            ev_delta.(2 * i) <- 0;
+            ev_time.((2 * i) + 1) <- max_int;
+            ev_delta.((2 * i) + 1) <- 0
+          end
+        end
+      end
+    done;
+    if (not !moved) && !valid then Store.note_scratch_reuse s
+    else begin
+      valid := false;
+      (* 2. insertion-sort the permutation by event time *)
+      for a = 1 to ne - 1 do
+        let pa = perm.(a) in
+        let ta = ev_time.(pa) in
+        let b = ref (a - 1) in
+        while !b >= 0 && ev_time.(perm.(!b)) > ta do
+          perm.(!b + 1) <- perm.(!b);
+          decr b
+        done;
+        perm.(!b + 1) <- pa
+      done;
+      (* 3. sweep into maximal segments with usage > 0; sentinel events
+         (absent compulsory parts) sit past every real event *)
+      let nseg = ref 0 in
+      let i = ref 0 and usage = ref 0 in
+      while !i < ne && ev_time.(perm.(!i)) < max_int do
+        let time = ev_time.(perm.(!i)) in
+        while !i < ne && ev_time.(perm.(!i)) = time do
+          usage := !usage + ev_delta.(perm.(!i));
+          incr i
+        done;
+        if !usage > capacity then raise (Store.Fail "cumulative overload");
+        let next =
+          if !i < ne && ev_time.(perm.(!i)) < max_int then ev_time.(perm.(!i))
+          else max_int
+        in
+        if !usage > 0 && next > time then begin
+          seg_a.(!nseg) <- time;
+          seg_b.(!nseg) <- next;
+          seg_u.(!nseg) <- !usage;
+          incr nseg
+        end
+      done;
+      let nseg = !nseg in
+      (* 4. prune — same rules and same order as the naive kernel *)
+      let changed = ref false in
+      if nseg > 0 then
+        for t = 0 to n - 1 do
+          let task = tasks.(t) in
+          if task.duration > 0 && task.demand > 0
+             && not (Store.is_fixed s task.start)
+          then begin
+            let own_lo = comp_lo.(t) and own_hi = comp_hi.(t) in
+            let overloaded k =
+              let u =
+                if own_lo < seg_b.(k) && own_hi > seg_a.(k) then
+                  seg_u.(k) - task.demand
+                else seg_u.(k)
+              in
+              u + task.demand > capacity
+            in
+            (* Segments are sorted and disjoint, so only those overlapping
+               the task's window can fire: binary-search the window edge and
+               stop at the first segment past it.  [est] only grows during
+               the scan (the window's far edge moves right), so a forward
+               scan with the live window test visits exactly the segments
+               the full scan would have triggered on. *)
+            let est = ref (Store.min_of s task.start) in
+            let lo = ref 0 and hi = ref nseg in
+            while !lo < !hi do
+              let mid = (!lo + !hi) / 2 in
+              if seg_b.(mid) > !est then hi := mid else lo := mid + 1
+            done;
+            let k = ref !lo in
+            while !k < nseg && seg_a.(!k) < !est + task.duration do
+              if seg_b.(!k) > !est && overloaded !k then est := seg_b.(!k);
+              incr k
+            done;
+            if !est > Store.min_of s task.start then changed := true;
+            Store.set_min s task.start !est;
+            (* mirror: [lst] only shrinks, and once a segment ends at or
+               before it no earlier segment can fire either *)
+            let lst = ref (Store.max_of s task.start) in
+            let lo = ref 0 and hi = ref nseg in
+            while !lo < !hi do
+              let mid = (!lo + !hi) / 2 in
+              if seg_a.(mid) < !lst + task.duration then lo := mid + 1
+              else hi := mid
+            done;
+            let k = ref (!lo - 1) in
+            let scanning = ref true in
+            while !scanning && !k >= 0 do
+              if seg_b.(!k) > !lst then begin
+                if seg_a.(!k) < !lst + task.duration && overloaded !k then
+                  lst := seg_a.(!k) - task.duration;
+                decr k
+              end
+              else scanning := false
+            done;
+            if !lst < Store.max_of s task.start then changed := true;
+            Store.set_max s task.start !lst
+          end
+        done;
+      if not !changed then valid := true
+    end
+  in
   let pid = Store.register s ~priority:2 ~name:"cumulative" run in
   Array.iter (fun t -> Store.watch s t.start pid) tasks;
   Store.schedule s pid
+
+(* --- disjunctive edge finding --------------------------------------------- *)
+
+let disjunctive_applicable ~tasks ~fixed ~capacity =
+  let any_var =
+    Array.exists (fun t -> t.duration > 0 && t.demand > 0) tasks
+  in
+  any_var
+  && Array.for_all
+       (fun t -> t.duration <= 0 || t.demand <= 0 || t.demand = capacity)
+       tasks
+  && Array.for_all
+       (fun (_, d, r) -> d <= 0 || r <= 0 || r = capacity)
+       fixed
+
+(* Vilím's O(n log n) Θ-Λ-tree edge finding + overload checking for a unary
+   resource.  Engaged (see [disjunctive_applicable]) when every active task
+   saturates the resource, i.e. at most one can run at a time: capacity 1,
+   or all demands equal to the capacity.
+
+   Frozen occupations participate as immutable tasks: a strengthened bound
+   on one is an inconsistency, reported as an overload failure.  The max
+   side reuses the est-side pass on the reflected time axis
+   (est' = -lct, lct' = -est). *)
+let disjunctive s ~tasks ~fixed =
+  let vtasks =
+    Array.of_list
+      (List.filter
+         (fun t -> t.duration > 0 && t.demand > 0)
+         (Array.to_list tasks))
+  in
+  let ftasks =
+    Array.of_list
+      (List.filter (fun (_, d, r) -> d > 0 && r > 0) (Array.to_list fixed))
+  in
+  let nv = Array.length vtasks and nf = Array.length ftasks in
+  let n = nv + nf in
+  if n >= 2 && nv >= 1 then begin
+    (* tasks 0..nv-1 are variable, nv..n-1 frozen *)
+    let est = Array.make n 0 and lct = Array.make n 0 and p = Array.make n 0 in
+    let m_est = Array.make n 0 and m_lct = Array.make n 0 in
+    for i = 0 to nv - 1 do
+      p.(i) <- vtasks.(i).duration
+    done;
+    for i = 0 to nf - 1 do
+      let st, d, _ = ftasks.(i) in
+      p.(nv + i) <- d;
+      est.(nv + i) <- st;
+      lct.(nv + i) <- st + d;
+      m_est.(nv + i) <- -(st + d);
+      m_lct.(nv + i) <- -st
+    done;
+    let est_perm = Array.init n (fun i -> i) in
+    let lct_perm = Array.init n (fun i -> i) in
+    let m_est_perm = Array.init n (fun i -> i) in
+    let m_lct_perm = Array.init n (fun i -> i) in
+    let rank = Array.make n 0 in
+    let upd = Array.make n min_int in
+    let tree = Theta_tree.create () in
+    (* nearly sorted between runs: insertion sort *)
+    let insertion_sort key perm =
+      for a = 1 to n - 1 do
+        let pa = perm.(a) in
+        let ka = key.(pa) in
+        let b = ref (a - 1) in
+        while !b >= 0 && key.(perm.(!b)) > ka do
+          perm.(!b + 1) <- perm.(!b);
+          decr b
+        done;
+        perm.(!b + 1) <- pa
+      done
+    in
+    (* one est-side pass over (est, lct, p): overload check, then edge
+       finding; strengthened ests land in [upd] *)
+    let pass est lct est_perm lct_perm =
+      insertion_sort est est_perm;
+      insertion_sort lct lct_perm;
+      for k = 0 to n - 1 do
+        rank.(est_perm.(k)) <- k
+      done;
+      Theta_tree.prepare tree n;
+      (* overload check: grow Θ in lct order; ect(Θ) must stay within lct *)
+      for k = 0 to n - 1 do
+        let j = lct_perm.(k) in
+        Theta_tree.add tree rank.(j) ~est:est.(j) ~p:p.(j);
+        if Theta_tree.ect tree > lct.(j) then
+          raise (Store.Fail "disjunctive overload")
+      done;
+      Array.fill upd 0 n min_int;
+      (* edge finding: peel tasks off Θ in lct-descending order; whenever
+         some gray i makes ect(Θ ∪ {i}) overshoot lct(Θ), i must run after
+         all of Θ, so est_i ≥ ect(Θ) *)
+      for k = n - 1 downto 1 do
+        let j = lct_perm.(k) in
+        Theta_tree.gray tree rank.(j);
+        let limit = lct.(lct_perm.(k - 1)) in
+        if Theta_tree.ect tree > limit then
+          raise (Store.Fail "disjunctive overload");
+        let continue = ref true in
+        while !continue && Theta_tree.ect_bar tree > limit do
+          let r = Theta_tree.responsible tree in
+          if r < 0 then continue := false
+          else begin
+            let i = est_perm.(r) in
+            let e = Theta_tree.ect tree in
+            if e > upd.(i) then upd.(i) <- e;
+            Theta_tree.remove tree r
+          end
+        done
+      done
+    in
+    let run s =
+      for i = 0 to nv - 1 do
+        let t = vtasks.(i) in
+        est.(i) <- Store.min_of s t.start;
+        lct.(i) <- Store.max_of s t.start + t.duration
+      done;
+      pass est lct est_perm lct_perm;
+      let prunes = ref 0 in
+      for i = 0 to n - 1 do
+        if upd.(i) > est.(i) then
+          if i < nv then begin
+            if upd.(i) > Store.min_of s vtasks.(i).start then incr prunes;
+            Store.set_min s vtasks.(i).start upd.(i)
+          end
+          else raise (Store.Fail "disjunctive overload")
+      done;
+      (* mirror pass on the reflected axis: an est cut there is an lct cut
+         here.  Bounds are re-read so the est-side prunes carry over. *)
+      for i = 0 to nv - 1 do
+        let t = vtasks.(i) in
+        m_est.(i) <- -(Store.max_of s t.start + t.duration);
+        m_lct.(i) <- -(Store.min_of s t.start)
+      done;
+      pass m_est m_lct m_est_perm m_lct_perm;
+      for i = 0 to n - 1 do
+        if upd.(i) > m_est.(i) then
+          if i < nv then begin
+            let t = vtasks.(i) in
+            let new_max = -upd.(i) - t.duration in
+            if new_max < Store.max_of s t.start then incr prunes;
+            Store.set_max s t.start new_max
+          end
+          else raise (Store.Fail "disjunctive overload")
+      done;
+      if !prunes > 0 then Store.note_edge_finder_prunes s !prunes
+    in
+    let pid = Store.register s ~priority:2 ~name:"disjunctive" run in
+    Array.iter (fun t -> Store.watch s t.start pid) vtasks;
+    Store.schedule s pid
+  end
+
+(* --- kernel dispatch ------------------------------------------------------ *)
+
+let cumulative_kernel s ~kernel ~tasks ~fixed ~capacity =
+  let eligible () = disjunctive_applicable ~tasks ~fixed ~capacity in
+  match kernel with
+  | Naive -> cumulative_naive s ~tasks ~fixed ~capacity
+  | Timetable -> cumulative s ~tasks ~fixed ~capacity
+  | Edge_finding ->
+      (* sound alone only on unary-equivalent pools: there any overlap is an
+         overload the Θ-tree check catches, so leaf states are fully
+         verified; elsewhere fall back to the timetable *)
+      if eligible () then disjunctive s ~tasks ~fixed
+      else cumulative s ~tasks ~fixed ~capacity
+  | Both ->
+      cumulative s ~tasks ~fixed ~capacity;
+      if eligible () then disjunctive s ~tasks ~fixed
 
 (* --- per-resource cumulative gated on assignment variables --------------- *)
 
@@ -191,78 +568,193 @@ type gated = {
   g_value : int;
 }
 
-let cumulative_gated s ~tasks ~capacity =
+(* How many members the O(m^2)-window energetic check is allowed to cover.
+   The direct formulation is only practical on small instances (that is why
+   the paper decomposes, §V.D), so the bound is generous in practice. *)
+let energetic_member_limit = 24
+
+let cumulative_gated ?(energetic = false) s ~tasks ~capacity =
   if capacity <= 0 then invalid_arg "cumulative_gated: capacity must be > 0";
   let n = Array.length tasks in
-  let run s =
-    (* members: tasks whose choice variable is fixed to this resource *)
-    let events = ref [] in
-    let comp_lo = Array.make n max_int and comp_hi = Array.make n max_int in
-    let member = Array.make n false in
+  (* same incremental machinery as [cumulative]: stable per-task event
+     slots, value-compared cache (membership + start bounds), insertion-
+     sorted permutation, witnessed-fixpoint full skip *)
+  let ne = 2 * n in
+  let ev_time = Array.make (max 1 ne) max_int in
+  let ev_delta = Array.make (max 1 ne) 0 in
+  let perm = Array.init (max 1 ne) (fun i -> i) in
+  let comp_lo = Array.make (max 1 n) max_int in
+  let comp_hi = Array.make (max 1 n) max_int in
+  let member = Array.make (max 1 n) false in
+  let cache_member = Array.make (max 1 n) false in
+  let cache_est = Array.make (max 1 n) min_int in
+  let cache_lst = Array.make (max 1 n) min_int in
+  let valid = ref false in
+  let seg_a = Array.make (ne + 1) 0 in
+  let seg_b = Array.make (ne + 1) 0 in
+  let seg_u = Array.make (ne + 1) 0 in
+  let clear_slot i =
+    comp_lo.(i) <- max_int;
+    comp_hi.(i) <- max_int;
+    ev_time.(2 * i) <- max_int;
+    ev_delta.(2 * i) <- 0;
+    ev_time.((2 * i) + 1) <- max_int;
+    ev_delta.((2 * i) + 1) <- 0
+  in
+  (* energetic-reasoning failure check over the current members: for every
+     window [t1, t2) spanned by member release dates and deadlines, the sum
+     of minimal-intersection energies may not exceed capacity * (t2 - t1) *)
+  let energetic_check s =
+    let m = ref 0 in
     for i = 0 to n - 1 do
-      let t = tasks.(i) in
-      if
-        Store.is_fixed s t.g_member
-        && Store.value s t.g_member = t.g_value
-        && t.g_duration > 0 && t.g_demand > 0
-      then begin
-        member.(i) <- true;
-        let est = Store.min_of s t.g_start and lst = Store.max_of s t.g_start in
-        let lo = lst and hi = est + t.g_duration in
-        if lo < hi then begin
-          comp_lo.(i) <- lo;
-          comp_hi.(i) <- hi;
-          events := (lo, t.g_demand) :: (hi, -t.g_demand) :: !events
-        end
-      end
+      if member.(i) then incr m
     done;
-    let events = Array.of_list !events in
-    Array.sort (fun (a, _) (b, _) -> compare a b) events;
-    let ne = Array.length events in
-    let segs = ref [] in
-    let i = ref 0 and usage = ref 0 in
-    while !i < ne do
-      let time = fst events.(!i) in
-      while !i < ne && fst events.(!i) = time do
-        usage := !usage + snd events.(!i);
-        incr i
-      done;
-      if !usage > capacity then raise (Store.Fail "gated cumulative overload");
-      let next = if !i < ne then fst events.(!i) else max_int in
-      if !usage > 0 && next > time then segs := (time, next, !usage) :: !segs
-    done;
-    let segments = Array.of_list (List.rev !segs) in
-    let nseg = Array.length segments in
-    if nseg > 0 then
-      for t = 0 to n - 1 do
-        let task = tasks.(t) in
-        if member.(t) && not (Store.is_fixed s task.g_start) then begin
-          let own_lo = comp_lo.(t) and own_hi = comp_hi.(t) in
-          let overloaded (a, b, u) =
-            let u = if own_lo < b && own_hi > a then u - task.g_demand else u in
-            u + task.g_demand > capacity
-          in
-          let est = ref (Store.min_of s task.g_start) in
-          for k = 0 to nseg - 1 do
-            let (a, b, _) = segments.(k) in
-            if a < !est + task.g_duration && b > !est && overloaded segments.(k)
-            then est := b
-          done;
-          Store.set_min s task.g_start !est;
-          let lst = ref (Store.max_of s task.g_start) in
-          for k = nseg - 1 downto 0 do
-            let (a, b, _) = segments.(k) in
-            if a < !lst + task.g_duration && b > !lst && overloaded segments.(k)
-            then lst := a - task.g_duration
-          done;
-          Store.set_max s task.g_start !lst
+    if !m >= 2 && !m <= energetic_member_limit then begin
+      let mi t1 t2 i =
+        let t = tasks.(i) in
+        let est = Store.min_of s t.g_start
+        and lst = Store.max_of s t.g_start in
+        let left = est + t.g_duration - t1 in
+        let right = t2 - lst in
+        let e = min (min (t2 - t1) t.g_duration) (min left right) in
+        if e > 0 then e * t.g_demand else 0
+      in
+      for i = 0 to n - 1 do
+        if member.(i) then begin
+          let t1 = Store.min_of s tasks.(i).g_start in
+          for j = 0 to n - 1 do
+            if member.(j) then begin
+              let tj = tasks.(j) in
+              let t2 = Store.max_of s tj.g_start + tj.g_duration in
+              if t2 > t1 then begin
+                let energy = ref 0 in
+                for q = 0 to n - 1 do
+                  if member.(q) then energy := !energy + mi t1 t2 q
+                done;
+                if !energy > capacity * (t2 - t1) then
+                  raise (Store.Fail "gated cumulative energetic overload")
+              end
+            end
+          done
         end
       done
+    end
+  in
+  let run s =
+    let moved = ref false in
+    for i = 0 to n - 1 do
+      let t = tasks.(i) in
+      let mem =
+        t.g_duration > 0 && t.g_demand > 0
+        && Store.is_fixed s t.g_member
+        && Store.value s t.g_member = t.g_value
+      in
+      member.(i) <- mem;
+      if mem then begin
+        let est = Store.min_of s t.g_start and lst = Store.max_of s t.g_start in
+        if
+          (not cache_member.(i))
+          || est <> cache_est.(i)
+          || lst <> cache_lst.(i)
+        then begin
+          moved := true;
+          cache_member.(i) <- true;
+          cache_est.(i) <- est;
+          cache_lst.(i) <- lst;
+          let lo = lst and hi = est + t.g_duration in
+          if lo < hi then begin
+            comp_lo.(i) <- lo;
+            comp_hi.(i) <- hi;
+            ev_time.(2 * i) <- lo;
+            ev_delta.(2 * i) <- t.g_demand;
+            ev_time.((2 * i) + 1) <- hi;
+            ev_delta.((2 * i) + 1) <- -t.g_demand
+          end
+          else clear_slot i
+        end
+      end
+      else if cache_member.(i) then begin
+        moved := true;
+        cache_member.(i) <- false;
+        clear_slot i
+      end
+    done;
+    if (not !moved) && !valid then Store.note_scratch_reuse s
+    else begin
+      valid := false;
+      for a = 1 to ne - 1 do
+        let pa = perm.(a) in
+        let ta = ev_time.(pa) in
+        let b = ref (a - 1) in
+        while !b >= 0 && ev_time.(perm.(!b)) > ta do
+          perm.(!b + 1) <- perm.(!b);
+          decr b
+        done;
+        perm.(!b + 1) <- pa
+      done;
+      let nseg = ref 0 in
+      let i = ref 0 and usage = ref 0 in
+      while !i < ne && ev_time.(perm.(!i)) < max_int do
+        let time = ev_time.(perm.(!i)) in
+        while !i < ne && ev_time.(perm.(!i)) = time do
+          usage := !usage + ev_delta.(perm.(!i));
+          incr i
+        done;
+        if !usage > capacity then
+          raise (Store.Fail "gated cumulative overload");
+        let next =
+          if !i < ne && ev_time.(perm.(!i)) < max_int then ev_time.(perm.(!i))
+          else max_int
+        in
+        if !usage > 0 && next > time then begin
+          seg_a.(!nseg) <- time;
+          seg_b.(!nseg) <- next;
+          seg_u.(!nseg) <- !usage;
+          incr nseg
+        end
+      done;
+      let nseg = !nseg in
+      let changed = ref false in
+      if nseg > 0 then
+        for t = 0 to n - 1 do
+          let task = tasks.(t) in
+          if member.(t) && not (Store.is_fixed s task.g_start) then begin
+            let own_lo = comp_lo.(t) and own_hi = comp_hi.(t) in
+            let overloaded k =
+              let u =
+                if own_lo < seg_b.(k) && own_hi > seg_a.(k) then
+                  seg_u.(k) - task.g_demand
+                else seg_u.(k)
+              in
+              u + task.g_demand > capacity
+            in
+            let est = ref (Store.min_of s task.g_start) in
+            for k = 0 to nseg - 1 do
+              if seg_a.(k) < !est + task.g_duration && seg_b.(k) > !est
+                 && overloaded k
+              then est := seg_b.(k)
+            done;
+            if !est > Store.min_of s task.g_start then changed := true;
+            Store.set_min s task.g_start !est;
+            let lst = ref (Store.max_of s task.g_start) in
+            for k = nseg - 1 downto 0 do
+              if seg_a.(k) < !lst + task.g_duration && seg_b.(k) > !lst
+                 && overloaded k
+              then lst := seg_a.(k) - task.g_duration
+            done;
+            if !lst < Store.max_of s task.g_start then changed := true;
+            Store.set_max s task.g_start !lst
+          end
+        done;
+      if energetic then energetic_check s;
+      if not !changed then valid := true
+    end
   in
   let pid = Store.register s ~priority:2 ~name:"cumulative_gated" run in
   Array.iter
     (fun t ->
       Store.watch s t.g_start pid;
-      Store.watch s t.g_member pid)
+      (* only a domain collapse can flip membership *)
+      Store.watch_fix s t.g_member pid)
     tasks;
   Store.schedule s pid

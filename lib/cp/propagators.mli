@@ -8,13 +8,34 @@
     - {!sum_lt_bound}: the branch-and-bound objective cut Σ N_j < bound;
     - {!cumulative}: constraints (5)/(6), time-table propagation with overload
       checking, handling both variable-start tasks and frozen
-      (isPrevScheduled) tasks.
+      (isPrevScheduled) tasks;
+    - {!disjunctive}: Θ-tree overload checking + edge finding for pools that
+      behave as a unary resource.
 
-    Each function registers the propagator, wires its watches, and schedules
-    an initial run; callers then invoke {!Store.propagate}. *)
+    Each function registers the propagator, wires its watches (to exactly
+    the variable events its rules read — see {!Store.watch_min} etc.), and
+    schedules an initial run; callers then invoke {!Store.propagate}. *)
 
 type term = { start : Store.var; duration : int; demand : int }
 (** A task as seen by [cumulative]. *)
+
+(** Which capacity-constraint implementation the model posts.  [Naive] is
+    the allocation-heavy reference time-table kernel, kept as the baseline
+    for differential tests and benchmarks.  [Timetable] is the incremental
+    allocation-free kernel with the identical fixpoint (and hence identical
+    search trajectory).  [Edge_finding] replaces the time-table with
+    {!disjunctive} on pools where that is sound (see
+    {!disjunctive_applicable}), falling back to [Timetable] elsewhere.
+    [Both] — the default — runs the time-table everywhere and additionally
+    posts {!disjunctive} on eligible pools. *)
+type kernel = Naive | Timetable | Edge_finding | Both
+
+val kernel_to_string : kernel -> string
+val kernel_of_string : string -> kernel option
+(** Accepts ["naive"], ["timetable"], ["edge-finding"] (or
+    ["edge_finding"]), ["both"]. *)
+
+val all_kernels : kernel list
 
 val ge_offset : Store.t -> Store.var -> Store.var -> int -> unit
 (** [ge_offset s y x c] enforces y ≥ x + c (bounds in both directions). *)
@@ -47,7 +68,51 @@ val cumulative :
 (** Time-table (compulsory part) propagation over [tasks] plus frozen
     [(start, duration, demand)] occupations, under the capacity limit.
     Prunes both start minima and start maxima; fails on profile overload.
-    Exact (overload = capacity violation) once all starts are fixed. *)
+    Exact (overload = capacity violation) once all starts are fixed.
+
+    Allocation-free on the hot path: per-instance scratch arrays, stable
+    per-task event slots refreshed only when the task's bounds moved, an
+    insertion sort over the (nearly sorted) event permutation, and a
+    witnessed-fixpoint skip counted in {!Store.stats_scratch_reuse}.  The
+    propagation — and so the search trajectory — is identical to
+    {!cumulative_naive}. *)
+
+val cumulative_naive :
+  Store.t ->
+  tasks:term array ->
+  fixed:(int * int * int) array ->
+  capacity:int ->
+  unit
+(** The pre-overhaul reference implementation of {!cumulative} (rebuilds
+    the profile with fresh lists and a full sort each run).  Same pruning;
+    kept for differential testing and as the benchmark baseline. *)
+
+val disjunctive_applicable :
+  tasks:term array -> fixed:(int * int * int) array -> capacity:int -> bool
+(** Whether the pool behaves as a unary resource, making {!disjunctive}
+    sound on its own: at least one active variable task, and every active
+    task (variable or frozen) has [demand = capacity].  (With capacity 1
+    this is the usual disjunctive machine.) *)
+
+val disjunctive :
+  Store.t -> tasks:term array -> fixed:(int * int * int) array -> unit
+(** Unary-resource filtering via a Θ-Λ tree (Vilím, O(n log n) per run):
+    overload checking plus edge finding on both bound sides (the max side
+    runs the est-side pass on the reflected time axis).  Demands are
+    ignored — post only where {!disjunctive_applicable} holds.  Frozen
+    occupations participate as immutable tasks; a bound strengthened on one
+    is reported as an overload failure.  Prunes are counted in
+    {!Store.stats_edge_finder_prunes}. *)
+
+val cumulative_kernel :
+  Store.t ->
+  kernel:kernel ->
+  tasks:term array ->
+  fixed:(int * int * int) array ->
+  capacity:int ->
+  unit
+(** Post the capacity constraint for one pool according to [kernel] (see
+    {!type:kernel}). *)
 
 type gated = {
   g_start : Store.var;
@@ -58,11 +123,20 @@ type gated = {
 }
 
 val cumulative_gated :
-  Store.t -> tasks:gated array -> capacity:int -> unit
+  ?energetic:bool -> Store.t -> tasks:gated array -> capacity:int -> unit
 (** Per-resource cumulative for the paper's {e direct} formulation (the x_tr
     variables of Table 1, before the §V.D decomposition): a task contributes
     to this resource's profile only once its choice variable is fixed to
     [g_value], and only such tasks have their start bounds pruned here.
     Weaker propagation than {!cumulative} (unassigned tasks are invisible),
     but exact once every choice and start is fixed — which is all the
-    branch-and-bound needs for soundness. *)
+    branch-and-bound needs for soundness.
+
+    Incremental like {!cumulative} (membership + bounds cache, stable event
+    slots, witnessed-fixpoint skip).  With [energetic] (default false), a
+    run additionally performs an energetic-reasoning failure check over the
+    current members: for every window spanned by member release dates and
+    deadlines, the summed minimal-intersection energy must fit
+    [capacity × window]; the check detects some infeasible partial
+    assignments the time table cannot, and is skipped beyond a small member
+    count to bound its O(m²)-windows cost. *)

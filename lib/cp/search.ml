@@ -114,29 +114,42 @@ let select_late st =
    min_int. *)
 let select_start st postponed =
   let s = st.problem.store in
+  let starts = st.problem.starts in
   let best = ref (-1) in
-  let best_key = ref (max_int, max_int, min_int) in
-  Array.iteri
-    (fun i info ->
-      if not (Store.is_fixed s info.svar) then begin
-        let est = Store.min_of s info.svar in
-        if postponed.(i) <> est then begin
-          let slack = info.deadline - est - info.duration in
-          (* always prefer small est; the remaining tie-break is the
-             portfolio's diversification axis *)
-          let key =
-            match st.tie_break with
-            | Slack_first -> (est, slack, -info.duration)
-            | Duration_first -> (est, -info.duration, slack)
-            | Deadline_first -> (est, info.deadline, -info.duration)
-          in
-          if key < !best_key then begin
-            best_key := key;
-            best := i
-          end
+  (* the (est, k2, k3) selection key, kept in three int refs so the scan —
+     O(tasks) per node — never allocates or falls into polymorphic compare *)
+  let b_est = ref max_int and b_k2 = ref max_int and b_k3 = ref min_int in
+  for i = 0 to Array.length starts - 1 do
+    let info = Array.unsafe_get starts i in
+    if not (Store.is_fixed s info.svar) then begin
+      let est = Store.min_of s info.svar in
+      if postponed.(i) <> est then begin
+        let slack = info.deadline - est - info.duration in
+        (* always prefer small est; the remaining tie-break is the
+           portfolio's diversification axis *)
+        let k2 =
+          match st.tie_break with
+          | Slack_first -> slack
+          | Duration_first -> -info.duration
+          | Deadline_first -> info.deadline
+        and k3 =
+          match st.tie_break with
+          | Slack_first | Deadline_first -> -info.duration
+          | Duration_first -> slack
+        in
+        if
+          est < !b_est
+          || (est = !b_est
+              && (k2 < !b_k2 || (k2 = !b_k2 && k3 < !b_k3)))
+        then begin
+          b_est := est;
+          b_k2 := k2;
+          b_k3 := k3;
+          best := i
         end
-      end)
-    st.problem.starts;
+      end
+    end
+  done;
   if !best < 0 then None else Some !best
 
 let all_starts_fixed st =

@@ -19,6 +19,7 @@ type options = {
   tie_break : Search.tie_break;
   instrument : bool;
   warm_start : incumbent option;
+  kernel : Propagators.kernel;
 }
 
 let default_options =
@@ -33,6 +34,7 @@ let default_options =
     tie_break = Search.Slack_first;
     instrument = false;
     warm_start = None;
+    kernel = Propagators.Both;
   }
 
 (* Hooks a portfolio coordinator installs so concurrent workers share the
@@ -336,6 +338,12 @@ let starting_incumbent ~options ?lb inst =
 let harvest_store registry store =
   Obs.Metrics.add (Obs.Metrics.counter registry "store/propagations")
     (Store.stats_propagations store);
+  Obs.Metrics.add (Obs.Metrics.counter registry "prop/wakeups_skipped")
+    (Store.stats_wakeups_skipped store);
+  Obs.Metrics.add (Obs.Metrics.counter registry "prop/edge_finder_prunes")
+    (Store.stats_edge_finder_prunes store);
+  Obs.Metrics.add (Obs.Metrics.counter registry "prop/scratch_reuse")
+    (Store.stats_scratch_reuse store);
   List.iter
     (fun (pm : Store.prop_metric) ->
       let pfx = "prop/" ^ pm.Store.prop_name in
@@ -348,8 +356,8 @@ let harvest_store registry store =
         pm.Store.time_s)
     (Store.propagator_metrics store)
 
-let run_exact ?tie_break ?registry inst ~bound_to_beat ~limits =
-  let model = Model.build inst ~horizon:(Model.default_horizon inst) in
+let run_exact ?tie_break ?registry ?kernel inst ~bound_to_beat ~limits =
+  let model = Model.build ?kernel inst ~horizon:(Model.default_horizon inst) in
   model.Model.bound := bound_to_beat;
   (match registry with
   | Some _ -> Store.set_instrumented model.Model.store true
@@ -400,8 +408,8 @@ let solve_linked ~options ~link (inst : Instance.t) =
         }
       in
       let outcome =
-        run_exact ~tie_break:options.tie_break ?registry inst
-          ~bound_to_beat:seed_sol.Solution.late_jobs ~limits
+        run_exact ~tie_break:options.tie_break ?registry ~kernel:options.kernel
+          inst ~bound_to_beat:seed_sol.Solution.late_jobs ~limits
       in
       nodes := outcome.Search.nodes;
       failures := outcome.Search.failures;
@@ -484,11 +492,11 @@ let solve_linked ~options ~link (inst : Instance.t) =
             Obs.Trace.with_span ~cat:"search" "lns-move"
               ~args:[ ("relaxed_jobs", Obs.Trace.Int (Hashtbl.length relax_set)) ]
               (fun () ->
-                run_exact ~tie_break:options.tie_break ?registry sub
-                  ~bound_to_beat ~limits)
+                run_exact ~tie_break:options.tie_break ?registry
+                  ~kernel:options.kernel sub ~bound_to_beat ~limits)
           else
-            run_exact ~tie_break:options.tie_break ?registry sub ~bound_to_beat
-              ~limits
+            run_exact ~tie_break:options.tie_break ?registry
+              ~kernel:options.kernel sub ~bound_to_beat ~limits
         in
         nodes := !nodes + outcome.Search.nodes;
         failures := !failures + outcome.Search.failures;

@@ -7,7 +7,7 @@ type propagator_id = int
 module Vec = struct
   type t = { mutable data : int array; mutable len : int }
 
-  let create () = { data = Array.make 64 0; len = 0 }
+  let create ?(capacity = 64) () = { data = Array.make (max capacity 1) 0; len = 0 }
 
   let push v x =
     if v.len = Array.length v.data then begin
@@ -19,28 +19,91 @@ module Vec = struct
     v.len <- v.len + 1
 
   let pop v =
+    if v.len = 0 then invalid_arg "Store.Vec.pop: empty vector";
     v.len <- v.len - 1;
     v.data.(v.len)
 
   let length v = v.len
 end
 
-type propagator = { run : t -> unit; priority : int; mutable queued : bool }
+(* Intrusive ring buffer of propagator ids: a power-of-two circular int
+   array, so a push is two stores and a mask — no per-element allocation the
+   way [Queue.t] blocks have.  FIFO order is preserved exactly (the search
+   trajectory depends on it). *)
+module Ring = struct
+  type t = { mutable data : int array; mutable head : int; mutable len : int }
+
+  let create () = { data = Array.make 16 0; head = 0; len = 0 }
+  let is_empty r = r.len = 0
+
+  let push r x =
+    let cap = Array.length r.data in
+    if r.len = cap then begin
+      (* full: unroll into a doubled array, head at 0 *)
+      let data' = Array.make (2 * cap) 0 in
+      let tail = cap - r.head in
+      Array.blit r.data r.head data' 0 tail;
+      Array.blit r.data 0 data' tail r.head;
+      r.data <- data';
+      r.head <- 0
+    end;
+    r.data.((r.head + r.len) land (Array.length r.data - 1)) <- x;
+    r.len <- r.len + 1
+
+  let pop r =
+    if r.len = 0 then invalid_arg "Store.Ring.pop: empty ring";
+    let x = r.data.(r.head) in
+    r.head <- (r.head + 1) land (Array.length r.data - 1);
+    r.len <- r.len - 1;
+    x
+
+  let iter f r =
+    let mask = Array.length r.data - 1 in
+    for k = 0 to r.len - 1 do
+      f r.data.((r.head + k) land mask)
+    done
+
+  let clear r =
+    r.head <- 0;
+    r.len <- 0
+end
+
+type propagator = {
+  run : t -> unit;
+  priority : int;
+  idempotent : bool;
+  mutable queued : bool;
+  mutable seen : int;  (* stamp up to which this propagator is at fixpoint *)
+}
 
 and t = {
   mutable mins : int array;
   mutable maxs : int array;
   mutable nvars : int;
-  mutable watchers : propagator_id list array;
+  (* Event-granular watch lists: set_min wakes only [on_min] (plus [on_fix]
+     when the domain just became a singleton), set_max symmetrically.  A
+     propagator that reads both bounds registers in both lists. *)
+  mutable on_min : Vec.t array;
+  mutable on_max : Vec.t array;
+  mutable on_fix : Vec.t array;
   mutable props : propagator array;
   mutable nprops : int;
   (* Three priority buckets of pending propagators. *)
-  queues : propagator_id Queue.t array;
+  queues : Ring.t array;
   (* trail: packed entries (var lsl 1 lor is_min_bit, old_value) *)
   trail_tags : Vec.t;
   trail_values : Vec.t;
   level_marks : Vec.t;
+  (* Modification timestamps: [stamp] counts every bound change; a
+     propagator whose watched vars all have [mod_stamp <= seen] is provably
+     at fixpoint and its dequeued wakeup can be skipped. *)
+  mutable stamp : int;
+  mutable mod_stamp : int array;
+  mutable running : int;  (* pid executing right now, -1 outside propagate *)
   mutable propagations : int;
+  mutable wakeups_skipped : int;
+  mutable scratch_reuse : int;
+  mutable edge_finder_prunes : int;
   (* Per-propagator telemetry, off by default: the propagation loop guards on
      the single [instrumented] bool, so the uninstrumented hot path costs one
      load.  All state lives in this record (store.mli's domain-locality
@@ -52,30 +115,39 @@ and t = {
   mutable prop_time : float array; (* seconds, per propagator *)
 }
 
+let dummy_prop =
+  { run = (fun _ -> ()); priority = 1; idempotent = false; queued = false;
+    seen = 0 }
+
+let dummy_watch = { Vec.data = [||]; len = 0 }
+
 let create () =
   {
     mins = Array.make 64 0;
     maxs = Array.make 64 0;
     nvars = 0;
-    watchers = Array.make 64 [];
-    props = Array.make 16 { run = (fun _ -> ()); priority = 1; queued = false };
+    on_min = Array.make 64 dummy_watch;
+    on_max = Array.make 64 dummy_watch;
+    on_fix = Array.make 64 dummy_watch;
+    props = Array.make 16 dummy_prop;
     nprops = 0;
-    queues = Array.init 3 (fun _ -> Queue.create ());
+    queues = Array.init 3 (fun _ -> Ring.create ());
     trail_tags = Vec.create ();
     trail_values = Vec.create ();
     level_marks = Vec.create ();
+    stamp = 0;
+    mod_stamp = Array.make 64 0;
+    running = -1;
     propagations = 0;
+    wakeups_skipped = 0;
+    scratch_reuse = 0;
+    edge_finder_prunes = 0;
     instrumented = false;
     prop_names = Array.make 16 "";
     prop_fires = Array.make 16 0;
     prop_fails = Array.make 16 0;
     prop_time = Array.make 16 0.;
   }
-
-let grow_watchers a len n =
-  let a' = Array.make n [] in
-  Array.blit a 0 a' 0 len;
-  a'
 
 let new_var t ~min ~max =
   if min > max then invalid_arg "Store.new_var: min > max";
@@ -89,11 +161,17 @@ let new_var t ~min ~max =
     in
     t.mins <- grow t.mins 0;
     t.maxs <- grow t.maxs 0;
-    t.watchers <- grow_watchers t.watchers id n
+    t.mod_stamp <- grow t.mod_stamp 0;
+    t.on_min <- grow t.on_min dummy_watch;
+    t.on_max <- grow t.on_max dummy_watch;
+    t.on_fix <- grow t.on_fix dummy_watch
   end;
   t.mins.(id) <- min;
   t.maxs.(id) <- max;
-  t.watchers.(id) <- [];
+  t.mod_stamp.(id) <- 0;
+  t.on_min.(id) <- Vec.create ~capacity:4 ();
+  t.on_max.(id) <- Vec.create ~capacity:4 ();
+  t.on_fix.(id) <- Vec.create ~capacity:4 ();
   t.nvars <- id + 1;
   id
 
@@ -105,40 +183,70 @@ let value t v =
   if not (is_fixed t v) then invalid_arg "Store.value: variable not fixed";
   t.mins.(v)
 
-let enqueue t pid =
+(* Wake a propagator because [v] changed.  The modification-timestamp rule:
+   a propagator whose [seen] stamp already covers the change is provably at
+   fixpoint for it and is not re-queued.  Since stamps grow monotonically and
+   [seen] is only advanced past a write by {!touch} (the writer itself, when
+   idempotent) or at run completion, the rule exactly suppresses redundant
+   self-notification of idempotent propagators and never drops a foreign
+   wakeup. *)
+let enqueue_for t v pid =
   let p = t.props.(pid) in
-  if not p.queued then begin
+  if t.mod_stamp.(v) <= p.seen then begin
+    if not p.queued then t.wakeups_skipped <- t.wakeups_skipped + 1
+  end
+  else if not p.queued then begin
     p.queued <- true;
-    Queue.push pid t.queues.(p.priority)
+    Ring.push t.queues.(p.priority) pid
   end
 
-let notify t v = List.iter (enqueue t) t.watchers.(v)
+let notify_list t v (vec : Vec.t) =
+  for k = 0 to vec.Vec.len - 1 do
+    enqueue_for t v vec.Vec.data.(k)
+  done
+
+let touch t v =
+  t.stamp <- t.stamp + 1;
+  t.mod_stamp.(v) <- t.stamp;
+  (* the running idempotent propagator stays at fixpoint across its own
+     writes: re-running it on the state it just produced is a no-op *)
+  if t.running >= 0 then begin
+    let p = t.props.(t.running) in
+    if p.idempotent then p.seen <- t.stamp
+  end
+
+(* Static failure messages: bound violations are raised (and caught) on the
+   search hot path, so the message must not allocate a formatted string. *)
+let min_gt_max = "set_min: new min above max"
+let max_lt_min = "set_max: new max below min"
 
 let set_min t v x =
-  if x > t.maxs.(v) then
-    raise (Fail (Printf.sprintf "var %d: min %d > max %d" v x t.maxs.(v)));
+  if x > t.maxs.(v) then raise (Fail min_gt_max);
   if x > t.mins.(v) then begin
     Vec.push t.trail_tags ((v lsl 1) lor 1);
     Vec.push t.trail_values t.mins.(v);
     t.mins.(v) <- x;
-    notify t v
+    touch t v;
+    notify_list t v t.on_min.(v);
+    if t.mins.(v) = t.maxs.(v) then notify_list t v t.on_fix.(v)
   end
 
 let set_max t v x =
-  if x < t.mins.(v) then
-    raise (Fail (Printf.sprintf "var %d: max %d < min %d" v x t.mins.(v)));
+  if x < t.mins.(v) then raise (Fail max_lt_min);
   if x < t.maxs.(v) then begin
     Vec.push t.trail_tags (v lsl 1);
     Vec.push t.trail_values t.maxs.(v);
     t.maxs.(v) <- x;
-    notify t v
+    touch t v;
+    notify_list t v t.on_max.(v);
+    if t.mins.(v) = t.maxs.(v) then notify_list t v t.on_fix.(v)
   end
 
 let fix t v x =
   set_min t v x;
   set_max t v x
 
-let register t ?(priority = 1) ?(name = "anon") run =
+let register t ?(priority = 1) ?(name = "anon") ?(idempotent = false) run =
   if priority < 0 || priority > 2 then
     invalid_arg "Store.register: priority must be 0, 1 or 2";
   let id = t.nprops in
@@ -148,25 +256,40 @@ let register t ?(priority = 1) ?(name = "anon") run =
       Array.blit a 0 a' 0 id;
       a'
     in
-    t.props <- grow t.props t.props.(0);
+    t.props <- grow t.props dummy_prop;
     t.prop_names <- grow t.prop_names "";
     t.prop_fires <- grow t.prop_fires 0;
     t.prop_fails <- grow t.prop_fails 0;
     t.prop_time <- grow t.prop_time 0.
   end;
-  t.props.(id) <- { run; priority; queued = false };
+  t.props.(id) <- { run; priority; idempotent; queued = false; seen = 0 };
   t.prop_names.(id) <- name;
   t.nprops <- id + 1;
   id
 
-let watch t v pid = t.watchers.(v) <- pid :: t.watchers.(v)
-let schedule = enqueue
+let watch_min t v pid = Vec.push t.on_min.(v) pid
+let watch_max t v pid = Vec.push t.on_max.(v) pid
+let watch_fix t v pid = Vec.push t.on_fix.(v) pid
+
+let watch t v pid =
+  watch_min t v pid;
+  watch_max t v pid
+
+(* Unconditional wakeup: used for the initial run and when non-variable
+   input changed (e.g. the objective bound ref), which the timestamp rule
+   cannot see. *)
+let schedule t pid =
+  let p = t.props.(pid) in
+  if not p.queued then begin
+    p.queued <- true;
+    Ring.push t.queues.(p.priority) pid
+  end
 
 let run_metered t pid p =
   t.prop_fires.(pid) <- t.prop_fires.(pid) + 1;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let record () =
-    t.prop_time.(pid) <- t.prop_time.(pid) +. (Unix.gettimeofday () -. t0)
+    t.prop_time.(pid) <- t.prop_time.(pid) +. (Obs.Clock.now () -. t0)
   in
   match p.run t with
   | () -> record ()
@@ -175,11 +298,20 @@ let run_metered t pid p =
       record ();
       raise e
 
+(* Clear pending wakeups so the next propagation starts clean — the shared
+   tail of [propagate]'s fail path and [backtrack_to_root]. *)
+let drain_queues t =
+  Array.iter
+    (fun q ->
+      Ring.iter (fun pid -> t.props.(pid).queued <- false) q;
+      Ring.clear q)
+    t.queues
+
 let propagate t =
   let rec next_pid () =
-    if not (Queue.is_empty t.queues.(0)) then Some (Queue.pop t.queues.(0))
-    else if not (Queue.is_empty t.queues.(1)) then Some (Queue.pop t.queues.(1))
-    else if not (Queue.is_empty t.queues.(2)) then Some (Queue.pop t.queues.(2))
+    if not (Ring.is_empty t.queues.(0)) then Some (Ring.pop t.queues.(0))
+    else if not (Ring.is_empty t.queues.(1)) then Some (Ring.pop t.queues.(1))
+    else if not (Ring.is_empty t.queues.(2)) then Some (Ring.pop t.queues.(2))
     else None
   and loop () =
     match next_pid () with
@@ -188,17 +320,23 @@ let propagate t =
         let p = t.props.(pid) in
         p.queued <- false;
         t.propagations <- t.propagations + 1;
-        if t.instrumented then run_metered t pid p else p.run t;
+        let start_stamp = t.stamp in
+        t.running <- pid;
+        (match if t.instrumented then run_metered t pid p else p.run t with
+        | () ->
+            t.running <- -1;
+            (* Idempotent propagators are at fixpoint w.r.t. their own
+               writes too ([touch] kept [seen] current); others have only
+               provably absorbed the state they started from. *)
+            p.seen <- (if p.idempotent then t.stamp else start_stamp)
+        | exception e ->
+            t.running <- -1;
+            raise e);
         loop ()
   in
   try loop ()
   with Fail _ as e ->
-    (* Drain the queue so the next propagation starts clean. *)
-    Array.iter
-      (fun q ->
-        Queue.iter (fun pid -> t.props.(pid).queued <- false) q;
-        Queue.clear q)
-      t.queues;
+    drain_queues t;
     raise e
 
 let push_level t = Vec.push t.level_marks (Vec.length t.trail_tags)
@@ -221,14 +359,18 @@ let backtrack_to_root t =
     backtrack t
   done;
   (* no propagators should survive across a full reset *)
-  Array.iter
-    (fun q ->
-      Queue.iter (fun pid -> t.props.(pid).queued <- false) q;
-      Queue.clear q)
-    t.queues
+  drain_queues t
 
 let num_vars t = t.nvars
 let stats_propagations t = t.propagations
+let stats_wakeups_skipped t = t.wakeups_skipped
+let stats_scratch_reuse t = t.scratch_reuse
+let stats_edge_finder_prunes t = t.edge_finder_prunes
+let note_scratch_reuse t = t.scratch_reuse <- t.scratch_reuse + 1
+
+let note_edge_finder_prunes t n =
+  t.edge_finder_prunes <- t.edge_finder_prunes + n
+
 let set_instrumented t on = t.instrumented <- on
 let instrumented t = t.instrumented
 

@@ -46,19 +46,48 @@ val fix : t -> var -> int -> unit
 
 type propagator_id
 
-val register : t -> ?priority:int -> ?name:string -> (t -> unit) -> propagator_id
+val register :
+  t ->
+  ?priority:int ->
+  ?name:string ->
+  ?idempotent:bool ->
+  (t -> unit) ->
+  propagator_id
 (** Add a propagator.  Lower [priority] runs first (default 1; use 0 for
     cheap binary constraints, 2 for heavy global constraints).  The function
     is called with the store and must prune via [set_min]/[set_max] or raise
     {!Fail}.  [name] (default ["anon"]) labels the propagator in
     {!propagator_metrics}; instances registered under the same name are
-    aggregated. *)
+    aggregated.
+
+    [idempotent] (default [false]) declares that immediately re-running the
+    propagator on the store state it just produced is a no-op — true for
+    functional bound rules such as [y = max_i x_i] whose reads and writes do
+    not feed back within one run.  The store then drops the propagator's
+    {e self}-notifications (its own writes re-queueing itself), which is the
+    main source of redundant wakeups; foreign wakeups are never dropped, so
+    the propagation fixpoint — and hence the search trajectory — is
+    unchanged.  Declare it only when the no-op property genuinely holds:
+    e.g. [cumulative] is {e not} idempotent (pruning a start grows its own
+    compulsory part, enabling further pruning on re-run). *)
+
+val watch_min : t -> var -> propagator_id -> unit
+(** Wake the propagator when the variable's {e lower} bound rises. *)
+
+val watch_max : t -> var -> propagator_id -> unit
+(** Wake the propagator when the variable's {e upper} bound drops. *)
+
+val watch_fix : t -> var -> propagator_id -> unit
+(** Wake the propagator when the variable becomes fixed (domain collapses to
+    a singleton, from either side). *)
 
 val watch : t -> var -> propagator_id -> unit
-(** Enqueue the propagator whenever the variable's bounds change. *)
+(** Wake on any bound change: [watch_min] + [watch_max]. *)
 
 val schedule : t -> propagator_id -> unit
-(** Explicitly enqueue (e.g. once after registration, for the initial run). *)
+(** Explicitly enqueue (for the initial run after registration, and whenever
+    a non-variable input — e.g. an objective bound ref — changed, which the
+    watch lists cannot see).  Never subject to wakeup suppression. *)
 
 val propagate : t -> unit
 (** Run the queue to fixpoint.  @raise Fail on inconsistency. *)
@@ -79,6 +108,25 @@ val backtrack_to_root : t -> unit
 val num_vars : t -> int
 val stats_propagations : t -> int
 (** Number of propagator executions so far (for benchmarks). *)
+
+val stats_wakeups_skipped : t -> int
+(** Wakeups suppressed by the modification-timestamp rule: notifications of
+    propagators already at fixpoint for the change (idempotent
+    self-notifications).  Each would have been a queued no-op execution. *)
+
+val stats_scratch_reuse : t -> int
+(** Times a cumulative kernel skipped a full recompute because its cached
+    compulsory-part state matched the current bounds (see
+    {!Propagators.cumulative}); bumped via {!note_scratch_reuse}. *)
+
+val stats_edge_finder_prunes : t -> int
+(** Bound tightenings performed by the disjunctive edge-finding propagator
+    (see {!Propagators.disjunctive}); bumped via {!note_edge_finder_prunes}. *)
+
+val note_scratch_reuse : t -> unit
+val note_edge_finder_prunes : t -> int -> unit
+(** Counter hooks for propagator kernels (all state lives in [t] — the
+    domain-locality contract above). *)
 
 (** {2 Per-propagator telemetry}
 

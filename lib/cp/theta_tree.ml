@@ -1,0 +1,151 @@
+(* Θ-Λ tree (Vilím): a balanced binary tree over tasks placed at leaves in
+   est order.  Each node summarises its subtree's Θ tasks (white set) with
+
+     sum  = Σ p             (total processing time)
+     ect  = earliest completion time of the subtree's Θ tasks
+
+   and the Θ ∪ Λ extension allowing at most one gray (Λ) task with
+
+     sum_bar = max over ≤1 gray of Σ p
+     ect_bar = max over ≤1 gray of ect
+
+   together with the leaf responsible for the gray choice.  All queries and
+   leaf updates are O(log n); the arrays are reused across runs so steady-
+   state operation allocates nothing. *)
+
+(* far below any real time point, but safe to add processing-time sums to
+   without wrapping *)
+let neg_inf = min_int / 4
+
+type t = {
+  mutable cap : int;  (* leaf slots; power of two (0 until first prepare) *)
+  mutable n : int;  (* active leaves *)
+  mutable sum : int array;  (* 1-indexed heap layout, length 2*cap *)
+  mutable ect : int array;
+  mutable sum_bar : int array;
+  mutable ect_bar : int array;
+  mutable resp_sum : int array;  (* leaf responsible for the gray in sum_bar *)
+  mutable resp_ect : int array;  (* leaf responsible for the gray in ect_bar *)
+  mutable leaf_est : int array;  (* per-leaf task data, kept for [gray] *)
+  mutable leaf_p : int array;
+}
+
+let create () =
+  {
+    cap = 0;
+    n = 0;
+    sum = [||];
+    ect = [||];
+    sum_bar = [||];
+    ect_bar = [||];
+    resp_sum = [||];
+    resp_ect = [||];
+    leaf_est = [||];
+    leaf_p = [||];
+  }
+
+let ensure t n =
+  if n > t.cap then begin
+    let cap = ref (max 1 t.cap) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let cap = !cap in
+    t.cap <- cap;
+    t.sum <- Array.make (2 * cap) 0;
+    t.ect <- Array.make (2 * cap) neg_inf;
+    t.sum_bar <- Array.make (2 * cap) 0;
+    t.ect_bar <- Array.make (2 * cap) neg_inf;
+    t.resp_sum <- Array.make (2 * cap) (-1);
+    t.resp_ect <- Array.make (2 * cap) (-1);
+    t.leaf_est <- Array.make cap 0;
+    t.leaf_p <- Array.make cap 0
+  end
+
+let prepare t n =
+  if n < 1 then invalid_arg "Theta_tree.prepare: need at least one leaf";
+  ensure t n;
+  t.n <- n;
+  Array.fill t.sum 0 (2 * t.cap) 0;
+  Array.fill t.ect 0 (2 * t.cap) neg_inf;
+  Array.fill t.sum_bar 0 (2 * t.cap) 0;
+  Array.fill t.ect_bar 0 (2 * t.cap) neg_inf;
+  Array.fill t.resp_sum 0 (2 * t.cap) (-1);
+  Array.fill t.resp_ect 0 (2 * t.cap) (-1)
+
+let combine t v =
+  let l = 2 * v and r = (2 * v) + 1 in
+  t.sum.(v) <- t.sum.(l) + t.sum.(r);
+  t.ect.(v) <- max t.ect.(r) (t.ect.(l) + t.sum.(r));
+  let sb_l = t.sum_bar.(l) + t.sum.(r) and sb_r = t.sum.(l) + t.sum_bar.(r) in
+  if sb_l >= sb_r then begin
+    t.sum_bar.(v) <- sb_l;
+    t.resp_sum.(v) <- t.resp_sum.(l)
+  end
+  else begin
+    t.sum_bar.(v) <- sb_r;
+    t.resp_sum.(v) <- t.resp_sum.(r)
+  end;
+  (* ect_bar = max of: gray on the right of the right child; gray feeding
+     the right child's sum after the left's ect; gray on the left *)
+  let c1 = t.ect_bar.(r) in
+  let c2 = t.ect.(l) + t.sum_bar.(r) in
+  let c3 = t.ect_bar.(l) + t.sum.(r) in
+  if c1 >= c2 && c1 >= c3 then begin
+    t.ect_bar.(v) <- c1;
+    t.resp_ect.(v) <- t.resp_ect.(r)
+  end
+  else if c2 >= c3 then begin
+    t.ect_bar.(v) <- c2;
+    t.resp_ect.(v) <- t.resp_sum.(r)
+  end
+  else begin
+    t.ect_bar.(v) <- c3;
+    t.resp_ect.(v) <- t.resp_ect.(l)
+  end
+
+let update_path t leaf =
+  let v = ref ((t.cap + leaf) / 2) in
+  while !v >= 1 do
+    combine t !v;
+    v := !v / 2
+  done
+
+let add t k ~est ~p =
+  if k < 0 || k >= t.n then invalid_arg "Theta_tree.add: leaf out of range";
+  t.leaf_est.(k) <- est;
+  t.leaf_p.(k) <- p;
+  let v = t.cap + k in
+  t.sum.(v) <- p;
+  t.ect.(v) <- est + p;
+  t.sum_bar.(v) <- p;
+  t.ect_bar.(v) <- est + p;
+  t.resp_sum.(v) <- -1;
+  t.resp_ect.(v) <- -1;
+  update_path t k
+
+let gray t k =
+  if k < 0 || k >= t.n then invalid_arg "Theta_tree.gray: leaf out of range";
+  let v = t.cap + k in
+  t.sum.(v) <- 0;
+  t.ect.(v) <- neg_inf;
+  t.sum_bar.(v) <- t.leaf_p.(k);
+  t.ect_bar.(v) <- t.leaf_est.(k) + t.leaf_p.(k);
+  t.resp_sum.(v) <- k;
+  t.resp_ect.(v) <- k;
+  update_path t k
+
+let remove t k =
+  if k < 0 || k >= t.n then invalid_arg "Theta_tree.remove: leaf out of range";
+  let v = t.cap + k in
+  t.sum.(v) <- 0;
+  t.ect.(v) <- neg_inf;
+  t.sum_bar.(v) <- 0;
+  t.ect_bar.(v) <- neg_inf;
+  t.resp_sum.(v) <- -1;
+  t.resp_ect.(v) <- -1;
+  update_path t k
+
+let ect t = t.ect.(1)
+let ect_bar t = t.ect_bar.(1)
+let responsible t = t.resp_ect.(1)

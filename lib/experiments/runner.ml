@@ -22,6 +22,7 @@ type config = {
   validate : bool;
   instrument : bool;
   warm_start : bool;
+  kernel : Cp.Propagators.kernel;
 }
 
 let default_config =
@@ -37,6 +38,7 @@ let default_config =
     validate = false;
     instrument = false;
     warm_start = true;
+    kernel = Cp.Propagators.Both;
   }
 
 type point = {
@@ -63,6 +65,7 @@ let make_driver config cluster ~seed =
           time_limit = config.solver_time_limit;
           seed;
           instrument = config.instrument;
+          kernel = config.kernel;
         }
       in
       let solver =

@@ -33,6 +33,9 @@ type config = {
       (** carry the previous plan into each solve as a starting incumbent
           (see {!Mrcp.Manager.config}); [false] reproduces the paper's cold
           re-solve on every invocation ([--no-warm-start] in the CLIs) *)
+  kernel : Cp.Propagators.kernel;
+      (** propagation kernel for every CP solve ([--kernel] in the CLIs;
+          default {!Cp.Propagators.Both}) *)
 }
 
 val default_config : config

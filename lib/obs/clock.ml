@@ -1,0 +1,1 @@
+external now : unit -> float = "mrcp_obs_monotonic_seconds"

@@ -1,0 +1,9 @@
+(** Monotonic clock for durations.
+
+    [now ()] is seconds from an arbitrary origin (CLOCK_MONOTONIC), strictly
+    unaffected by wall-clock adjustments — use it for measuring elapsed time
+    ({!Trace} spans, {!Store.run_metered}-style propagator metering), never
+    for timestamps of record.  Thread/domain-safe: it is a single syscall
+    with no shared state. *)
+
+val now : unit -> float

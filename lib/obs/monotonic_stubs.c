@@ -1,0 +1,14 @@
+/* CLOCK_MONOTONIC as seconds-since-boot (double).  Used by Obs.Clock so
+   span timings and propagator metering survive wall-clock jumps (NTP
+   slews, suspend/resume).  CLOCK_MONOTONIC is POSIX; both Linux and macOS
+   provide it. */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value mrcp_obs_monotonic_seconds(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + 1e-9 * (double)ts.tv_nsec);
+}

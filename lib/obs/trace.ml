@@ -53,12 +53,13 @@ let start ?(limit = 1 lsl 20) () =
     !sinks;
   Mutex.unlock sinks_mu;
   Atomic.set event_limit limit;
-  Atomic.set origin (Unix.gettimeofday ());
+  Atomic.set origin (Clock.now ());
   Atomic.set enabled_flag true
 
 let stop () = Atomic.set enabled_flag false
 
-let now_us () = (Unix.gettimeofday () -. Atomic.get origin) *. 1e6
+(* Monotonic (Obs.Clock), so span durations survive wall-clock jumps. *)
+let now_us () = (Clock.now () -. Atomic.get origin) *. 1e6
 
 let emit ev =
   let s = Domain.DLS.get sink_key in

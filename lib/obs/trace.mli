@@ -34,7 +34,7 @@ val enabled : unit -> bool
 (** One atomic load — this is the hot-path guard. *)
 
 val now_us : unit -> float
-(** Microseconds since {!start} (wall clock). *)
+(** Microseconds since {!start} ({!Clock}-monotonic). *)
 
 val with_span : ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] times [f ()] and records a complete event, including

@@ -1,0 +1,266 @@
+(* Tests for the propagation-kernel overhaul: event-granular watchers and
+   timestamp wakeup suppression in the store, the Θ-Λ tree, and differential
+   properties between the naive, timetable and edge-finding kernels.
+
+   The key invariants:
+   - [Timetable] computes exactly the pre-overhaul fixpoints, so its search
+     trajectory (nodes/failures/objective/proof) is bit-identical to
+     [Naive]'s on every instance;
+   - the edge-finding kernels only prune — they never lose a solution the
+     timetable search can reach, so proved objectives agree across all four
+     kernels. *)
+
+module Store = Cp.Store
+module P = Cp.Propagators
+module Model = Cp.Model
+module Search = Cp.Search
+
+(* --- event-granular watchers ------------------------------------------- *)
+
+(* A min-watcher is woken by set_min but not by set_max (and vice versa);
+   watch_fix fires only when the domain becomes a singleton. *)
+let test_watch_granularity () =
+  let s = Store.create () in
+  let v = Store.new_var s ~min:0 ~max:10 in
+  let min_runs = ref 0 and max_runs = ref 0 and fix_runs = ref 0 in
+  let p_min = Store.register s (fun _ -> incr min_runs) in
+  let p_max = Store.register s (fun _ -> incr max_runs) in
+  let p_fix = Store.register s (fun _ -> incr fix_runs) in
+  Store.watch_min s v p_min;
+  Store.watch_max s v p_max;
+  Store.watch_fix s v p_fix;
+  Store.set_max s v 8;
+  Store.propagate s;
+  Alcotest.(check int) "set_max wakes no min-watcher" 0 !min_runs;
+  Alcotest.(check int) "set_max wakes the max-watcher" 1 !max_runs;
+  Alcotest.(check int) "set_max (non-fixing) wakes no fix-watcher" 0 !fix_runs;
+  Store.set_min s v 3;
+  Store.propagate s;
+  Alcotest.(check int) "set_min wakes the min-watcher" 1 !min_runs;
+  Alcotest.(check int) "set_min wakes no max-watcher" 1 !max_runs;
+  Store.fix s v 5;
+  Store.propagate s;
+  Alcotest.(check int) "fixing wakes the fix-watcher" 1 !fix_runs;
+  Alcotest.(check int) "fixing wakes both bound watchers" 2 !min_runs;
+  Alcotest.(check int) "fixing wakes both bound watchers (max)" 2 !max_runs
+
+(* An idempotent propagator's own writes do not re-queue it; a foreign
+   write after its run does. *)
+let test_wakeup_suppression () =
+  let s = Store.create () in
+  let x = Store.new_var s ~min:0 ~max:100 in
+  let y = Store.new_var s ~min:0 ~max:100 in
+  let runs = ref 0 in
+  (* y >= x: reads min x, writes min y — idempotent *)
+  let pid =
+    Store.register s ~idempotent:true (fun s ->
+        incr runs;
+        Store.set_min s y (Store.min_of s x))
+  in
+  Store.watch_min s x pid;
+  Store.watch_min s y pid;
+  let before = Store.stats_wakeups_skipped s in
+  Store.set_min s x 10;
+  Store.propagate s;
+  Alcotest.(check int) "one run reaches the fixpoint" 1 !runs;
+  Alcotest.(check bool) "its own write to y was suppressed" true
+    (Store.stats_wakeups_skipped s > before);
+  Store.set_min s y 20;
+  Store.propagate s;
+  Alcotest.(check int) "a foreign write still wakes it" 2 !runs
+
+(* --- Θ-Λ tree ----------------------------------------------------------- *)
+
+let test_theta_tree_ect () =
+  let tr = Cp.Theta_tree.create () in
+  Cp.Theta_tree.prepare tr 3;
+  Alcotest.(check int) "empty ect" Cp.Theta_tree.neg_inf
+    (Cp.Theta_tree.ect tr);
+  (* leaves in est order: (0,5) (4,5) (30,4) *)
+  Cp.Theta_tree.add tr 0 ~est:0 ~p:5;
+  Cp.Theta_tree.add tr 1 ~est:4 ~p:5;
+  Alcotest.(check int) "ect{t0,t1} chains" 10 (Cp.Theta_tree.ect tr);
+  Cp.Theta_tree.add tr 2 ~est:30 ~p:4;
+  Alcotest.(check int) "ect{t0,t1,t2}" 34 (Cp.Theta_tree.ect tr);
+  Cp.Theta_tree.remove tr 2;
+  Alcotest.(check int) "remove restores" 10 (Cp.Theta_tree.ect tr);
+  (* gray t1: Θ = {t0}, Λ = {t1}; ect_bar extends Θ by t1 *)
+  Cp.Theta_tree.gray tr 1;
+  Alcotest.(check int) "ect of Θ alone" 5 (Cp.Theta_tree.ect tr);
+  Alcotest.(check int) "ect_bar extends by the gray task" 10
+    (Cp.Theta_tree.ect_bar tr);
+  Alcotest.(check int) "gray task is responsible" 1
+    (Cp.Theta_tree.responsible tr)
+
+(* The edge finder engages only on unary-equivalent pools. *)
+let test_disjunctive_applicable () =
+  let tsk start duration demand = { P.start; duration; demand } in
+  Alcotest.(check bool) "cap 1, demand 1" true
+    (P.disjunctive_applicable
+       ~tasks:[| tsk 0 5 1; tsk 1 3 1 |]
+       ~fixed:[||] ~capacity:1);
+  Alcotest.(check bool) "all demands = capacity" true
+    (P.disjunctive_applicable
+       ~tasks:[| tsk 0 5 3; tsk 1 3 3 |]
+       ~fixed:[||] ~capacity:3);
+  Alcotest.(check bool) "a sub-capacity demand disables it" false
+    (P.disjunctive_applicable
+       ~tasks:[| tsk 0 5 1; tsk 1 3 2 |]
+       ~fixed:[||] ~capacity:2);
+  Alcotest.(check bool) "sub-capacity frozen occupation disables it" false
+    (P.disjunctive_applicable
+       ~tasks:[| tsk 0 5 2 |]
+       ~fixed:[| (0, 4, 1) |] ~capacity:2);
+  Alcotest.(check bool) "no variable task disables it" false
+    (P.disjunctive_applicable ~tasks:[||] ~fixed:[| (0, 4, 1) |] ~capacity:1)
+
+(* Edge finding prunes a textbook case the time table cannot: three unary
+   tasks where t3 must go last, so its est rises past the others' joint
+   completion even though no compulsory parts exist. *)
+let test_edge_finding_prunes_textbook () =
+  let build kernel =
+    let s = Store.create () in
+    let a = Store.new_var s ~min:0 ~max:6 in
+    let b = Store.new_var s ~min:1 ~max:6 in
+    let c = Store.new_var s ~min:0 ~max:20 in
+    let tasks =
+      [|
+        { P.start = a; duration = 5; demand = 1 };
+        { P.start = b; duration = 5; demand = 1 };
+        { P.start = c; duration = 5; demand = 1 };
+      |]
+    in
+    P.cumulative_kernel s ~kernel ~tasks ~fixed:[||] ~capacity:1;
+    Store.propagate s;
+    (s, c)
+  in
+  let s_tt, c_tt = build P.Timetable in
+  let s_ef, c_ef = build P.Both in
+  (* lcts are 11: t1 and t2 must both finish before t3 can start *)
+  Alcotest.(check bool) "timetable leaves c's est weak" true
+    (Store.min_of s_tt c_tt < 10);
+  Alcotest.(check int) "edge finding lifts c past {a,b}" 10
+    (Store.min_of s_ef c_ef)
+
+(* --- differential properties over generated instances ------------------- *)
+
+let root_bounds kernel inst =
+  let model = Model.build ~kernel inst ~horizon:(Model.default_horizon inst) in
+  match Store.propagate model.Model.store with
+  | () ->
+      let bounds v =
+        (Store.min_of model.Model.store v, Store.max_of model.Model.store v)
+      in
+      Some
+        (Array.concat
+           [
+             Array.map (fun (tv : Model.task_var) -> bounds tv.Model.var)
+               model.Model.starts;
+             Array.map bounds model.Model.lates;
+             Array.map bounds model.Model.completions;
+           ])
+  | exception Store.Fail _ -> None
+
+(* Root fixpoints: [Timetable] is exactly [Naive]'s; the edge-finding
+   kernels are at least as tight on every variable (or fail earlier). *)
+let prop_root_fixpoint_no_looser =
+  QCheck.Test.make ~count:150 ~name:"root fixpoints: timetable = naive <= EF"
+    Gen.arb_instance (fun inst ->
+      match root_bounds P.Naive inst with
+      | None -> true (* naive failed: nothing to compare *)
+      | Some naive -> (
+          (match root_bounds P.Timetable inst with
+          | Some tt ->
+              if tt <> naive then
+                QCheck.Test.fail_report
+                  "timetable root fixpoint differs from naive"
+          | None -> QCheck.Test.fail_report "timetable failed where naive ran");
+          match root_bounds P.Both inst with
+          | None -> true (* strictly stronger: found the inconsistency *)
+          | Some both ->
+              Array.for_all2
+                (fun (nmin, nmax) (bmin, bmax) -> bmin >= nmin && bmax <= nmax)
+                naive both))
+
+let search_outcome kernel inst =
+  let model = Model.build ~kernel inst ~horizon:(Model.default_horizon inst) in
+  let greedy = Sched.Greedy.solve inst in
+  model.Model.bound := greedy.Sched.Solution.late_jobs + 1;
+  let o =
+    Search.run model { Search.no_limits with Search.fail_limit = 50_000 }
+  in
+  let late =
+    match o.Search.best with
+    | Some s -> s.Sched.Solution.late_jobs
+    | None -> greedy.Sched.Solution.late_jobs
+  in
+  (o.Search.nodes, o.Search.failures, late, o.Search.proved_optimal)
+
+(* The timetable escape hatch reproduces the pre-overhaul (= naive) search
+   trajectory bit-identically: same nodes, same failures, same objective,
+   same proof status. *)
+let prop_timetable_trajectory_bit_identical =
+  QCheck.Test.make ~count:40 ~name:"naive/timetable trajectories identical"
+    Gen.arb_instance (fun inst ->
+      search_outcome P.Naive inst = search_outcome P.Timetable inst)
+
+(* Edge finding never prunes a reachable solution: on proof-complete runs
+   every kernel lands on the same optimal objective. *)
+let prop_kernels_agree_on_optimum =
+  QCheck.Test.make ~count:40 ~name:"all kernels prove the same optimum"
+    Gen.arb_tiny_instance (fun inst ->
+      let outcomes =
+        List.map (fun k -> search_outcome k inst) P.all_kernels
+      in
+      let proved = List.for_all (fun (_, _, _, p) -> p) outcomes in
+      QCheck.assume proved;
+      match outcomes with
+      | (_, _, late0, _) :: rest ->
+          List.for_all (fun (_, _, late, _) -> late = late0) rest
+      | [] -> false)
+
+(* Wakeup suppression engages on real searches. *)
+let test_wakeups_skipped_on_search () =
+  let inst =
+    Gen.instance ~map_cap:2 ~reduce_cap:1
+      (List.init 4 (fun i ->
+           Gen.mk_job ~id:i ~deadline:(30 + (5 * i)) ~maps:[ 10; 8 ]
+             ~reduces:[ 5 ] ()))
+  in
+  let model =
+    Model.build ~kernel:P.Timetable inst
+      ~horizon:(Model.default_horizon inst)
+  in
+  model.Model.bound := 5;
+  ignore (Search.run model Search.no_limits);
+  Alcotest.(check bool) "wakeups were suppressed" true
+    (Store.stats_wakeups_skipped model.Model.store > 0)
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "store events",
+        [
+          Alcotest.test_case "event-granular watchers" `Quick
+            test_watch_granularity;
+          Alcotest.test_case "timestamp wakeup suppression" `Quick
+            test_wakeup_suppression;
+          Alcotest.test_case "suppression engages on real searches" `Quick
+            test_wakeups_skipped_on_search;
+        ] );
+      ( "theta tree",
+        [
+          Alcotest.test_case "ect maintenance" `Quick test_theta_tree_ect;
+          Alcotest.test_case "engagement rule" `Quick
+            test_disjunctive_applicable;
+          Alcotest.test_case "edge finding beats the time table" `Quick
+            test_edge_finding_prunes_textbook;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_root_fixpoint_no_looser;
+            prop_timetable_trajectory_bit_identical;
+            prop_kernels_agree_on_optimum;
+          ] );
+    ]
