@@ -631,6 +631,112 @@ let print_group name results =
       Printf.printf "  %-45s %s  (r2=%.3f)\n" test_name pretty r2)
     (List.sort compare !rows)
 
+(* ------------------------------------------------------------------ *)
+(* restart-search comparison mode (--search-compare): the same        *)
+(* branch-and-bound model solved by plain DFS, Luby restarts without  *)
+(* nogood recording, and Luby restarts with nogood recording, on      *)
+(* Fig. 2 Facebook batches (full-width and contended variants) plus   *)
+(* the synthetic 40-job batch — all at one shared fail budget, so the *)
+(* comparison is about which nodes each search visits, emitted as     *)
+(* JSON so BENCH_search.json snapshots can track search quality       *)
+(* across PRs                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* contended Fig. 2 variants: the same Facebook-sampled jobs squeezed
+   onto an eighth of the cluster, so lateness is unavoidable and the
+   search has real packing decisions to get wrong early *)
+let fb_tight_instance =
+  Sched.Instance.of_fresh_jobs ~now:0 ~map_capacity:8 ~reduce_capacity:8
+    (facebook_jobs ~n:8 ~lambda:0.0004 3)
+
+(* half-width Fig. 2 variant: contended but not saturated — the regime
+   where restart search pays off most visibly *)
+let fb10_half_instance =
+  Sched.Instance.of_fresh_jobs ~now:0 ~map_capacity:32 ~reduce_capacity:32
+    (facebook_jobs ~n:10 ~lambda:0.0004 5)
+
+(* a draw where plain DFS does prove optimality, eventually — measures
+   fails-to-proof rather than proof-vs-no-proof *)
+let fb8_seed11_instance =
+  Sched.Instance.of_fresh_jobs ~now:0 ~map_capacity:64 ~reduce_capacity:64
+    (facebook_jobs ~n:8 ~lambda:0.0004 11)
+
+let search_compare ~fail_limit ~out () =
+  let run_arm inst (name, restart, with_nogoods) =
+    let model =
+      Cp.Model.build inst ~horizon:(Cp.Model.default_horizon inst)
+    in
+    let greedy = Sched.Greedy.solve inst in
+    model.Cp.Model.bound := greedy.Sched.Solution.late_jobs + 1;
+    let db =
+      if with_nogoods then begin
+        let d = Cp.Nogood.create () in
+        Cp.Nogood.attach d model.Cp.Model.store
+          ~vars:
+            (Array.append model.Cp.Model.lates
+               (Array.map
+                  (fun tv -> tv.Cp.Model.var)
+                  model.Cp.Model.starts));
+        Some d
+      end
+      else None
+    in
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Cp.Search.run ~restart ?nogoods:db model
+        { Cp.Search.no_limits with Cp.Search.fail_limit }
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    let late =
+      match o.Cp.Search.best with
+      | Some s -> s.Sched.Solution.late_jobs
+      | None -> greedy.Sched.Solution.late_jobs
+    in
+    let nogoods, unit_props =
+      match db with
+      | Some d -> (Cp.Nogood.size d, Cp.Nogood.stats_unit_props d)
+      | None -> (0, 0)
+    in
+    Printf.sprintf
+      {|{"search":"%s","late":%d,"nodes":%d,"failures":%d,"restarts":%d,"nogoods":%d,"unit_props":%d,"proved":%b,"elapsed_s":%.6f}|}
+      (json_escape name) late o.Cp.Search.nodes o.Cp.Search.failures
+      o.Cp.Search.restarts nogoods unit_props o.Cp.Search.proved_optimal dt
+  in
+  let arms =
+    [
+      ("dfs", Cp.Restart.Off, false);
+      ("luby", Cp.Restart.default, false);
+      ("luby+nogoods", Cp.Restart.default, true);
+    ]
+  in
+  let case name inst =
+    Printf.sprintf {|{"case":"%s","searches":[%s]}|} (json_escape name)
+      (String.concat "," (List.map (run_arm inst) arms))
+  in
+  let cases =
+    [
+      case "fig2-fb8" fb_batch_instance;
+      case "fig2-fb10-half" fb10_half_instance;
+      case "fig2-fb8-s11" fb8_seed11_instance;
+      case "fig2-fb8-tight" fb_tight_instance;
+      case "batch40" batch_instance;
+    ]
+  in
+  let json =
+    Printf.sprintf
+      {|{"bench":"search-compare","fail_limit":%d,"cases":[%s]}|} fail_limit
+      (String.concat "," cases)
+  in
+  print_endline json;
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+  | None -> ()
+
 let () =
   let argv = Sys.argv in
   if Array.exists (( = ) "--portfolio-compare") argv then begin
@@ -682,6 +788,31 @@ let () =
       find 1
     in
     prop_compare ~fail_limit ~out ()
+  end
+  else if Array.exists (( = ) "--search-compare") argv then begin
+    (* bench/main.exe --search-compare [FAIL_LIMIT] [--out FILE]:
+       dfs vs luby vs luby+nogoods JSON on the Fig. 2 fixtures *)
+    let n = Array.length argv in
+    let fail_limit =
+      let rec find i =
+        if i >= n then 20_000
+        else if argv.(i) = "--search-compare" && i + 1 < n then
+          match int_of_string_opt argv.(i + 1) with
+          | Some f when f > 0 -> f
+          | _ -> 20_000
+        else find (i + 1)
+      in
+      find 1
+    in
+    let out =
+      let rec find i =
+        if i >= n then None
+        else if argv.(i) = "--out" && i + 1 < n then Some argv.(i + 1)
+        else find (i + 1)
+      in
+      find 1
+    in
+    search_compare ~fail_limit ~out ()
   end
   else if Array.exists (( = ) "--warm-compare") argv then begin
     (* bench/main.exe --warm-compare [JOBS] [--out FILE]:

@@ -32,7 +32,7 @@ let all_ids =
   ]
 
 let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
-    metrics no_warm_start kernel =
+    metrics no_warm_start kernel restart =
   let base =
     {
       Expkit.Runner.default_config with
@@ -43,6 +43,7 @@ let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
       instrument = metrics;
       warm_start = not no_warm_start;
       kernel;
+      restart;
     }
   in
   if trace_out <> None then Obs.Trace.start ();
@@ -182,6 +183,21 @@ let kernel =
            ~doc:"Propagation kernel for every CP solve: timetable, \
                  edge-finding, both (default), or naive.")
 
+let restart =
+  let restart_conv =
+    let parse s =
+      match Cp.Restart.of_string s with
+      | Ok p -> Ok p
+      | Error msg -> Error (`Msg msg)
+    in
+    Arg.conv
+      (parse, fun ppf p -> Format.pp_print_string ppf (Cp.Restart.to_string p))
+  in
+  Arg.(value & opt restart_conv Cp.Restart.Off
+       & info [ "restarts" ]
+           ~doc:"Restart policy for every CP solve: off (plain DFS, \
+                 default), luby[:SCALE], or geom:BASE:GROW.")
+
 let cmd =
   let expand ids =
     List.concat_map (fun id -> if id = "all" then all_ids else [ id ]) ids
@@ -189,11 +205,11 @@ let cmd =
   let term =
     Term.(
       const (fun ids reps jobs fb_jobs seed budget out validate lambdas
-                 trace_out metrics no_warm_start kernel ->
+                 trace_out metrics no_warm_start kernel restart ->
           run_ids (expand ids) reps jobs fb_jobs seed budget out validate
-            lambdas trace_out metrics no_warm_start kernel)
+            lambdas trace_out metrics no_warm_start kernel restart)
       $ ids_arg $ reps $ jobs $ fb_jobs $ seed $ budget $ out $ validate
-      $ lambdas $ trace_out $ metrics $ no_warm_start $ kernel)
+      $ lambdas $ trace_out $ metrics $ no_warm_start $ kernel $ restart)
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")

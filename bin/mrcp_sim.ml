@@ -20,7 +20,7 @@ let print_metrics = function
 
 let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
     seed budget ordering domains deferral validate verbose replay trace_out
-    metrics no_warm_start kernel =
+    metrics no_warm_start kernel restart =
   let warm_start = not no_warm_start in
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
@@ -43,6 +43,7 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
       instrument = metrics;
       warm_start;
       kernel;
+      restart;
     }
   in
   if trace_out <> None then Obs.Trace.start ();
@@ -76,7 +77,8 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
             | Expkit.Runner.Mrcp_rm | Expkit.Runner.Greedy_only ->
                 let solver =
                   { Cp.Solver.default_options with Cp.Solver.ordering;
-                    time_limit = budget; seed; instrument = metrics; kernel }
+                    time_limit = budget; seed; instrument = metrics; kernel;
+                    restart }
                 in
                 Opensim.Driver.of_mrcp
                   (Mrcp.Manager.create ~cluster
@@ -163,6 +165,14 @@ let kernel_conv =
        (fun k -> (Cp.Propagators.kernel_to_string k, k))
        Cp.Propagators.all_kernels)
 
+let restart_conv =
+  let parse s =
+    match Cp.Restart.of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf p -> Format.pp_print_string ppf (Cp.Restart.to_string p))
+
 let term =
   Term.(
     const run
@@ -214,7 +224,14 @@ let term =
                ~doc:"Propagation kernel: timetable (incremental time table), \
                      edge-finding (Θ-tree filtering on unary-equivalent \
                      pools), both (default), or naive (pre-overhaul \
-                     reference kernel)."))
+                     reference kernel).")
+    $ Arg.(value & opt restart_conv Cp.Restart.Off
+           & info [ "restarts" ]
+               ~doc:"Restart policy for the CP search: off (plain DFS, \
+                     default), luby[:SCALE] (Luby sequence of fail budgets, \
+                     scale 128 if omitted), or geom:BASE:GROW (geometric).  \
+                     Restarted searches record nogoods from each abandoned \
+                     slice and branch with last-conflict reasoning."))
 
 let cmd =
   Cmd.v

@@ -172,7 +172,7 @@ let check_limits st =
   if st.ticks <= 0 then begin
     st.ticks <- 64;
     match st.limits.Search.wall_deadline with
-    | Some deadline when Unix.gettimeofday () > deadline -> raise Limit_reached
+    | Some deadline when Obs.Clock.now () > deadline -> raise Limit_reached
     | _ -> ()
   end
 
@@ -279,7 +279,7 @@ let rec dfs st postponed =
               dfs st postponed'))
 
 let solve ?(limits = Search.no_limits) ?kernel ~cluster (inst : Instance.t) =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let greedy = Sched.Greedy.solve inst in
   let horizon = Model.default_horizon inst in
   let model = build ?kernel inst ~cluster ~horizon in
@@ -303,5 +303,5 @@ let solve ?(limits = Search.no_limits) ?kernel ~cluster (inst : Instance.t) =
       proved_optimal = proved;
       nodes = st.nodes;
       failures = st.failures;
-      elapsed = Unix.gettimeofday () -. t0;
+      elapsed = Obs.Clock.now () -. t0;
     } )

@@ -1,0 +1,52 @@
+type policy =
+  | Off
+  | Luby of int
+  | Geometric of { base : int; grow : float }
+
+let default = Luby 128
+
+(* Luby et al.'s universal sequence, 1-indexed: if i = 2^k - 1 the value is
+   2^(k-1); otherwise recurse on the position within the repeated prefix. *)
+let rec luby i =
+  if i < 1 then invalid_arg "Restart.luby";
+  let k2 = ref 2 in
+  while !k2 - 1 < i do
+    k2 := !k2 * 2
+  done;
+  if !k2 - 1 = i then !k2 / 2 else luby (i - ((!k2 / 2) - 1))
+
+let slice policy k =
+  match policy with
+  | Off -> 0
+  | Luby scale -> scale * luby k
+  | Geometric { base; grow } ->
+      let b = float_of_int base *. (grow ** float_of_int (k - 1)) in
+      if b >= float_of_int max_int then max_int else max 1 (int_of_float b)
+
+let to_string = function
+  | Off -> "off"
+  | Luby scale -> Printf.sprintf "luby:%d" scale
+  | Geometric { base; grow } -> Printf.sprintf "geom:%d:%g" base grow
+
+let of_string s =
+  match String.split_on_char ':' (String.lowercase_ascii (String.trim s)) with
+  | [ "off" ] | [ "none" ] -> Ok Off
+  | [ "luby" ] -> Ok default
+  | [ "luby"; scale ] -> (
+      match int_of_string_opt scale with
+      | Some n when n > 0 -> Ok (Luby n)
+      | _ -> Error (Printf.sprintf "invalid luby scale %S" scale))
+  | [ "geom" ] | [ "geometric" ] -> Ok (Geometric { base = 100; grow = 1.5 })
+  | [ ("geom" | "geometric"); base; grow ] -> (
+      match (int_of_string_opt base, float_of_string_opt grow) with
+      | Some b, Some g when b > 0 && g >= 1.0 ->
+          Ok (Geometric { base = b; grow = g })
+      | _ -> Error (Printf.sprintf "invalid geometric policy %S" s))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown restart policy %S (expected off | luby[:SCALE] | \
+            geom[:BASE:GROW])"
+           s)
+
+let all_names = [ "off"; "luby"; "luby:SCALE"; "geom:BASE:GROW" ]

@@ -1,0 +1,41 @@
+(** Restart policies for the branch-and-bound search.
+
+    A policy turns the search into a sequence of {e slices}: each slice is a
+    chronological DFS cut after a fail budget; between slices the store is
+    rewound to the root (keeping the incumbent bound and any recorded
+    nogoods, see {!Nogood}) and the search starts over.  Budgets follow
+    either the Luby universal sequence — optimal up to a constant factor
+    when the runtime distribution is unknown — or a plain geometric
+    schedule. *)
+
+type policy =
+  | Off  (** single chronological DFS, exactly the pre-restart search *)
+  | Luby of int
+      (** [Luby scale]: slice [k] gets [scale * luby k] failures, where
+          [luby] is the 1 1 2 1 1 2 4 … universal sequence *)
+  | Geometric of { base : int; grow : float }
+      (** slice [k] gets [base * grow^(k-1)] failures *)
+
+val default : policy
+(** [Luby 128] — small enough to escape early mistakes quickly, large
+    enough that later slices can finish the proof.  This is the recommended
+    policy when turning restarts on; note {!Solver.default_options} keeps
+    [restart = Off] so the default solve stays the deterministic DFS. *)
+
+val luby : int -> int
+(** The universal sequence, 1-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 … *)
+
+val slice : policy -> int -> int
+(** [slice policy k] is the fail budget of the [k]-th slice (1-indexed);
+    [0] means unlimited (no restarts). *)
+
+val to_string : policy -> string
+(** ["off"], ["luby:128"], ["geom:512:2.0"]. *)
+
+val of_string : string -> (policy, string) result
+(** Parses ["off"], ["luby"], ["luby:SCALE"], ["geom"],
+    ["geom:BASE:GROW"] (also ["geometric…"]).  Errors on anything else —
+    the CLIs surface the message. *)
+
+val all_names : string list
+(** Example spellings for [--restarts] doc strings. *)

@@ -14,6 +14,15 @@
        schedules, which is exhaustive for regular objectives such as the
        paper's Σ N_j.
 
+    With a {!Restart.policy} other than [Off], the DFS is additionally cut
+    into slices by a per-slice fail budget: each slice restarts from the
+    root (keeping the incumbent and bound), rightmost-branch nogoods are
+    recorded into the optional {!Nogood} database at every cut, failed
+    decisions steer variable selection (last-conflict reasoning), and the
+    incumbent's start times steer value selection (solution-guided domain
+    splits).  With [Off] — the default — the search is bit-identical to the
+    plain chronological DFS.
+
     The search is generic over a {!problem} view so that both the MapReduce
     model ({!Model}) and extensions (e.g. DAG workflows in [lib/workflow])
     reuse it; {!run} is the MapReduce-model entry point. *)
@@ -21,7 +30,9 @@
 type limits = {
   fail_limit : int;  (** max failures before giving up (0 = unlimited) *)
   node_limit : int;  (** max nodes (0 = unlimited) *)
-  wall_deadline : float option;  (** Unix.gettimeofday cutoff *)
+  wall_deadline : float option;
+      (** {!Obs.Clock.now} cutoff (monotonic seconds, {e not}
+          [Unix.gettimeofday]) *)
   interrupt : (unit -> bool) option;
       (** polled every ~64 nodes; [true] abandons the search (reported as not
           proved).  The portfolio's first-to-prove-optimal cancellation. *)
@@ -67,19 +78,44 @@ type 'a generic_outcome = {
   proved_optimal : bool;
   nodes : int;
   failures : int;
+  restarts : int;  (** slices cut by the restart policy *)
 }
 
-val run_problem : ?tie_break:tie_break -> 'a problem -> limits -> 'a generic_outcome
+val run_problem :
+  ?tie_break:tie_break ->
+  ?restart:Restart.policy ->
+  ?nogoods:Nogood.t ->
+  ?guide:int array ->
+  'a problem ->
+  limits ->
+  'a generic_outcome
 (** Explore.  [problem.bound] must hold the strict bound to beat on entry.
     [tie_break] picks the SetTimes tie-breaking rule (default
-    {!Slack_first}, the historical behaviour). *)
+    {!Slack_first}, the historical behaviour).
+
+    [restart] (default {!Restart.Off}) cuts the DFS into fail-budgeted
+    slices.  [nogoods] — only consulted when restarts are on — receives the
+    rightmost-branch nogoods at every cut; pass a database already
+    {!Nogood.attach}ed to [problem.store] so the clauses also prune.
+    [guide], when given, must be one incumbent start value per entry of
+    [problem.starts] ([min_int] = no guidance) and seeds solution-guided
+    value ordering (used only under restarts; updated in place as better
+    incumbents are found). *)
 
 type outcome = {
   best : Sched.Solution.t option;
   proved_optimal : bool;
   nodes : int;
   failures : int;
+  restarts : int;
 }
 
-val run : ?tie_break:tie_break -> Model.t -> limits -> outcome
+val run :
+  ?tie_break:tie_break ->
+  ?restart:Restart.policy ->
+  ?nogoods:Nogood.t ->
+  ?guide:int array ->
+  Model.t ->
+  limits ->
+  outcome
 (** {!run_problem} specialized to the Table-1 MapReduce model. *)

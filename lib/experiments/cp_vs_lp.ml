@@ -60,23 +60,23 @@ let run ?(sizes = [ 1; 2; 3; 4; 5 ]) ?(milp_budget = 5.) ?(seed = 17) () =
       let inst = make_batch ~n ~rng ~task_counter in
       let tasks = Sched.Instance.pending_task_count inst in
       (* CP *)
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now () in
       let cp_sol, cp_stats = Cp.Solver.solve inst in
-      let cp_time_s = Unix.gettimeofday () -. t0 in
+      let cp_time_s = Obs.Clock.now () -. t0 in
       (* MILP *)
       let horizon = Lp.Milp_model.suggested_horizon_slots inst ~quantum:1 + 4 in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now () in
       let model = Lp.Milp_model.build inst ~quantum:1 ~horizon_slots:horizon in
       let milp_sol, outcome =
         Lp.Milp_model.solve
           ~limits:
             {
               Lp.Mip.max_nodes = 0;
-              wall_deadline = Some (Unix.gettimeofday () +. milp_budget);
+              wall_deadline = Some (Obs.Clock.now () +. milp_budget);
             }
           model
       in
-      let milp_time_s = Unix.gettimeofday () -. t0 in
+      let milp_time_s = Obs.Clock.now () -. t0 in
       {
         jobs = n;
         tasks;

@@ -60,7 +60,7 @@ let run ?(sizes = [ 2; 4; 6; 8 ]) ?(m = 4) ?(direct_budget = 5.) ?(seed = 23)
           jobs
       in
       (* combined pipeline: CP solve on the aggregate + matchmaking *)
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now () in
       let solution, _ = Cp.Solver.solve inst in
       let mm = Mrcp.Matchmaker.create ~cluster in
       let pending =
@@ -73,13 +73,13 @@ let run ?(sizes = [ 2; 4; 6; 8 ]) ?(m = 4) ?(direct_budget = 5.) ?(seed = 23)
         Mrcp.Matchmaker.assign_all mm
           ~starts:solution.Sched.Solution.starts ~pending
       in
-      let combined_time_s = Unix.gettimeofday () -. t0 in
+      let combined_time_s = Obs.Clock.now () -. t0 in
       (* direct formulation *)
       let limits =
         {
           Cp.Search.no_limits with
           Cp.Search.wall_deadline =
-            Some (Unix.gettimeofday () +. direct_budget);
+            Some (Obs.Clock.now () +. direct_budget);
         }
       in
       let direct, dstats = Cp.Direct.solve ~limits ~cluster inst in

@@ -23,6 +23,7 @@ type config = {
   instrument : bool;
   warm_start : bool;
   kernel : Cp.Propagators.kernel;
+  restart : Cp.Restart.policy;
 }
 
 let default_config =
@@ -39,6 +40,7 @@ let default_config =
     instrument = false;
     warm_start = true;
     kernel = Cp.Propagators.Both;
+    restart = Cp.Restart.Off;
   }
 
 type point = {
@@ -66,6 +68,7 @@ let make_driver config cluster ~seed =
           seed;
           instrument = config.instrument;
           kernel = config.kernel;
+          restart = config.restart;
         }
       in
       let solver =
@@ -132,7 +135,7 @@ let summarize ~label ~config ~elapsed results =
   }
 
 let replicate ~label ~config ~make_jobs ~cluster =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let results =
     List.init config.reps (fun i ->
         let seed = config.base_seed + (7919 * i) in
@@ -140,7 +143,7 @@ let replicate ~label ~config ~make_jobs ~cluster =
         let driver = make_driver config cluster ~seed in
         Sim.run ~validate:config.validate ~driver ~jobs ())
   in
-  summarize ~label ~config ~elapsed:(Unix.gettimeofday () -. t0) results
+  summarize ~label ~config ~elapsed:(Obs.Clock.now () -. t0) results
 
 let run_synthetic ?label ?(m = 50) ?(map_capacity = 2) ?(reduce_capacity = 2)
     ~params ~config () =

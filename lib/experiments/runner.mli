@@ -36,6 +36,9 @@ type config = {
   kernel : Cp.Propagators.kernel;
       (** propagation kernel for every CP solve ([--kernel] in the CLIs;
           default {!Cp.Propagators.Both}) *)
+  restart : Cp.Restart.policy;
+      (** restart policy for every CP solve ([--restarts] in the CLIs;
+          default {!Cp.Restart.Off} — opt in with e.g. [--restarts luby]) *)
 }
 
 val default_config : config

@@ -23,7 +23,7 @@ let solve ?(limits = no_limits) ?(integrality_eps = 1e-6)
     if limits.max_nodes > 0 && !nodes >= limits.max_nodes then
       raise Limit_reached;
     match limits.wall_deadline with
-    | Some d when !nodes land 15 = 0 && Unix.gettimeofday () > d ->
+    | Some d when !nodes land 15 = 0 && Obs.Clock.now () > d ->
         raise Limit_reached
     | _ -> ()
   in

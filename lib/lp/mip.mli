@@ -9,6 +9,8 @@
 type limits = {
   max_nodes : int;  (** 0 = unlimited *)
   wall_deadline : float option;
+      (** absolute deadline on the monotonic clock ({!Obs.Clock.now}), not
+          [Unix.gettimeofday] *)
 }
 
 val no_limits : limits

@@ -5,6 +5,7 @@ type t = {
   warm_seeded : bool;
   nodes : int;
   failures : int;
+  restarts : int;
   lns_moves : int;
   elapsed : float;
   metrics : Metrics.snapshot option;
@@ -12,17 +13,18 @@ type t = {
 
 let pp fmt s =
   Format.fprintf fmt
-    "cp-stats<seed_late=%d lb=%d optimal=%b%s nodes=%d fails=%d lns=%d \
-     t=%.4fs>"
+    "cp-stats<seed_late=%d lb=%d optimal=%b%s nodes=%d fails=%d restarts=%d \
+     lns=%d t=%.4fs>"
     s.seed_late s.lower_bound s.proved_optimal
     (if s.warm_seeded then " warm" else "")
-    s.nodes s.failures s.lns_moves s.elapsed
+    s.nodes s.failures s.restarts s.lns_moves s.elapsed
 
 let to_metrics s =
   let m = Metrics.create () in
   Metrics.add (Metrics.counter m "solver/solves") 1;
   Metrics.add (Metrics.counter m "solver/nodes") s.nodes;
   Metrics.add (Metrics.counter m "solver/failures") s.failures;
+  Metrics.add (Metrics.counter m "solver/restarts") s.restarts;
   Metrics.add (Metrics.counter m "solver/lns_moves") s.lns_moves;
   if s.proved_optimal then Metrics.add (Metrics.counter m "solver/proofs") 1;
   if s.warm_seeded then

@@ -16,6 +16,7 @@ type t = {
           {!Cp.Solver.options.warm_start}) *)
   nodes : int;  (** branch-and-bound nodes explored *)
   failures : int;  (** search failures (dead ends) *)
+  restarts : int;  (** restart-policy slice cuts across all searches run *)
   lns_moves : int;  (** large-neighbourhood moves attempted (0: pure B&B) *)
   elapsed : float;  (** wall-clock seconds spent *)
   metrics : Metrics.snapshot option;

@@ -151,6 +151,7 @@ type stats = Obs.Solve_stats.t = {
   warm_seeded : bool;
   nodes : int;
   failures : int;
+  restarts : int;
   lns_moves : int;
   elapsed : float;
   metrics : Obs.Metrics.snapshot option;
@@ -273,7 +274,7 @@ let harvest store =
   Obs.Metrics.snapshot m
 
 let solve ?(limits = Cp.Search.no_limits) ?(instrument = false) inst =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now () in
   let seed = greedy inst in
   let lb = lower_bound inst in
   if seed.late_jobs <= lb then
@@ -285,8 +286,9 @@ let solve ?(limits = Cp.Search.no_limits) ?(instrument = false) inst =
         warm_seeded = false;
         nodes = 0;
         failures = 0;
+        restarts = 0;
         lns_moves = 0;
-        elapsed = Unix.gettimeofday () -. t0;
+        elapsed = Obs.Clock.now () -. t0;
         metrics = (if instrument then Some Obs.Metrics.empty else None);
       } )
   else begin
@@ -302,8 +304,9 @@ let solve ?(limits = Cp.Search.no_limits) ?(instrument = false) inst =
         warm_seeded = false;
         nodes = outcome.Cp.Search.nodes;
         failures = outcome.Cp.Search.failures;
+        restarts = outcome.Cp.Search.restarts;
         lns_moves = 0;
-        elapsed = Unix.gettimeofday () -. t0;
+        elapsed = Obs.Clock.now () -. t0;
         metrics =
           (if instrument then Some (harvest problem.Cp.Search.store) else None);
       } )

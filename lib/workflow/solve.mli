@@ -45,6 +45,7 @@ type stats = Obs.Solve_stats.t = {
   warm_seeded : bool;  (** always [false]: the DAG solver has no warm start *)
   nodes : int;
   failures : int;
+  restarts : int;  (** always 0: the DAG solver runs without restarts *)
   lns_moves : int;
   elapsed : float;
   metrics : Obs.Metrics.snapshot option;

@@ -266,15 +266,17 @@ let sorted_starts (sol : Sched.Solution.t) =
 let test_instrumented_run_bit_identical () =
   task_counter := 0;
   let inst = contended_instance () in
-  let plain_sol, plain_stats = Cp.Solver.solve inst in
+  (* a generous wall limit makes [fail_limit] the binding cutoff: a
+     wall-clock cutoff would make node counts depend on machine speed and
+     metering overhead, which is exactly what this test must not measure *)
+  let options = { Cp.Solver.default_options with time_limit = 30.0 } in
+  let plain_sol, plain_stats = Cp.Solver.solve ~options inst in
   task_counter := 0;
   let inst' = contended_instance () in
   Fun.protect ~finally:Tr.stop (fun () ->
       Tr.start ();
       let obs_sol, obs_stats =
-        Cp.Solver.solve
-          ~options:{ Cp.Solver.default_options with instrument = true }
-          inst'
+        Cp.Solver.solve ~options:{ options with instrument = true } inst'
       in
       Tr.stop ();
       Alcotest.(check int)

@@ -1,0 +1,256 @@
+(* Restart-driven search: Luby policy arithmetic, trajectory snapshots
+   proving [--restarts off] is bit-identical to the pre-restart DFS,
+   differential optimality of restarts+nogoods against plain DFS, and
+   soundness of every recorded nogood against a known optimal solution. *)
+
+module T = Mapreduce.Types
+module Instance = Sched.Instance
+module Solution = Sched.Solution
+module Model = Cp.Model
+module Search = Cp.Search
+module Restart = Cp.Restart
+module Nogood = Cp.Nogood
+open Gen
+
+(* --- policy arithmetic --------------------------------------------------- *)
+
+let test_luby_sequence () =
+  let expected = [ 1; 1; 2; 1; 1; 2; 4; 1; 1; 2; 1; 1; 2; 4; 8 ] in
+  List.iteri
+    (fun i want ->
+      Alcotest.(check int)
+        (Printf.sprintf "luby %d" (i + 1))
+        want
+        (Restart.luby (i + 1)))
+    expected;
+  Alcotest.(check int) "luby scale" (128 * 4) (Restart.slice (Restart.Luby 128) 7);
+  Alcotest.(check int) "geom slice 3" 2048
+    (Restart.slice (Restart.Geometric { base = 512; grow = 2.0 }) 3);
+  Alcotest.(check int) "off = unlimited" 0 (Restart.slice Restart.Off 5)
+
+let test_policy_strings () =
+  List.iter
+    (fun p ->
+      match Restart.of_string (Restart.to_string p) with
+      | Ok p' -> Alcotest.(check bool) (Restart.to_string p) true (p = p')
+      | Error e -> Alcotest.fail e)
+    [ Restart.Off; Restart.Luby 128; Restart.Geometric { base = 512; grow = 2.0 } ];
+  Alcotest.(check bool) "bogus rejected" true
+    (Result.is_error (Restart.of_string "bogus"))
+
+(* --- helpers ------------------------------------------------------------- *)
+
+let run_search ?(fail_limit = 50_000) ?(restart = Restart.Off) ?nogoods inst =
+  let model = Model.build inst ~horizon:(Model.default_horizon inst) in
+  (match nogoods with
+  | Some db ->
+      let vars =
+        Array.append model.Model.lates
+          (Array.map (fun tv -> tv.Model.var) model.Model.starts)
+      in
+      Nogood.attach db model.Model.store ~vars
+  | None -> ());
+  let greedy = Sched.Greedy.solve inst in
+  model.Model.bound := greedy.Sched.Solution.late_jobs + 1;
+  let o =
+    Search.run ~restart ?nogoods model
+      { Search.no_limits with Search.fail_limit }
+  in
+  let best = match o.Search.best with Some s -> s | None -> greedy in
+  (o, best, model)
+
+(* --- [--restarts off] is bit-identical to the pre-restart search --------- *)
+
+(* Trajectories (nodes, failures, late, proved) captured from the search as
+   of PR 4, before the restart engine existed, at fail limit 50k.  Any drift
+   here means [Restart.Off] no longer reproduces the old DFS decision
+   sequence — which would silently invalidate every historical benchmark. *)
+let snapshot_cases () =
+  [
+    ( "tight-6",
+      (reset_tasks ();
+       instance ~map_cap:2 ~reduce_cap:1
+         (List.init 6 (fun i ->
+              mk_job ~id:i
+                ~deadline:(25 + (4 * i))
+                ~maps:[ 9; 7 ] ~reduces:[ 4 ] ()))),
+      (7908, 6727, 1, true) );
+    ( "mixed-5",
+      (reset_tasks ();
+       instance ~map_cap:2 ~reduce_cap:2
+         [
+           mk_job ~id:0 ~deadline:30 ~maps:[ 12; 5 ] ~reduces:[ 6; 3 ] ();
+           mk_job ~id:1 ~deadline:22 ~maps:[ 8 ] ~reduces:[ 8 ] ();
+           mk_job ~id:2 ~est:10 ~deadline:45 ~maps:[ 10; 10 ] ~reduces:[ 5 ] ();
+           mk_job ~id:3 ~deadline:18 ~maps:[ 6; 6; 6 ] ~reduces:[] ();
+           mk_job ~id:4 ~deadline:60 ~maps:[ 15 ] ~reduces:[ 9 ] ();
+         ]),
+      (65, 46, 0, true) );
+    ( "ar-8",
+      (reset_tasks ();
+       instance ~map_cap:3 ~reduce_cap:2
+         (List.init 8 (fun i ->
+              mk_job ~id:i
+                ~est:(3 * (i mod 3))
+                ~deadline:(28 + (5 * i))
+                ~maps:[ 7; 5 + (i mod 4) ]
+                ~reduces:(if i mod 2 = 0 then [ 4 ] else [])
+                ()))),
+      (231, 190, 0, true) );
+    ( "unary-4",
+      (reset_tasks ();
+       instance ~map_cap:1 ~reduce_cap:1
+         (List.init 4 (fun i ->
+              mk_job ~id:i
+                ~deadline:(20 + (6 * i))
+                ~maps:[ 5 + i ] ~reduces:[ 3 ] ()))),
+      (45, 28, 0, true) );
+    ( "loose-10",
+      (reset_tasks ();
+       instance ~map_cap:4 ~reduce_cap:2
+         (List.init 10 (fun i ->
+              mk_job ~id:i
+                ~deadline:(40 + (7 * i))
+                ~maps:[ 6; 4 ] ~reduces:[ 5 ] ()))),
+      (496, 435, 0, true) );
+  ]
+
+let test_off_bit_identical () =
+  List.iter
+    (fun (name, inst, (nodes, failures, late, proved)) ->
+      let o, best, _ = run_search ~restart:Restart.Off inst in
+      Alcotest.(check int) (name ^ " nodes") nodes o.Search.nodes;
+      Alcotest.(check int) (name ^ " failures") failures o.Search.failures;
+      Alcotest.(check int) (name ^ " late") late best.Solution.late_jobs;
+      Alcotest.(check bool) (name ^ " proved") proved o.Search.proved_optimal;
+      Alcotest.(check int) (name ^ " no restarts") 0 o.Search.restarts)
+    (snapshot_cases ())
+
+(* --- restart bookkeeping ------------------------------------------------- *)
+
+let test_restarts_fire_and_limits_hold () =
+  let _, inst, _ = List.hd (snapshot_cases ()) in
+  let fail_limit = 2_000 in
+  let o, _, _ =
+    run_search ~fail_limit ~restart:(Restart.Luby 16) inst
+  in
+  Alcotest.(check bool) "restarted" true (o.Search.restarts > 0);
+  Alcotest.(check bool) "fail limit held" true (o.Search.failures <= fail_limit)
+
+(* --- differential properties over generated instances -------------------- *)
+
+let per_job_lateness inst (sol : Solution.t) =
+  Array.map
+    (fun (j : Instance.pending_job) ->
+      if Solution.job_completion j sol.Solution.starts > j.Instance.job.T.deadline
+      then 1
+      else 0)
+    inst.Instance.jobs
+
+(* A clause claims: no solution with < bound late jobs satisfies all its
+   literals.  An optimal solution with late < bound must therefore violate
+   at least one literal — otherwise the nogood would have pruned the
+   optimum. *)
+let check_nogoods_sound inst (model : Model.t) db (best : Solution.t) =
+  let n_lates = Array.length model.Model.lates in
+  let lateness = per_job_lateness inst best in
+  let start_value k =
+    let tv = model.Model.starts.(k) in
+    Solution.start_of best ~task_id:tv.Model.task.T.task_id
+  in
+  let lit_holds l =
+    let vref = Nogood.lit_var l and a = Nogood.lit_const l in
+    let v = if vref < n_lates then lateness.(vref) else start_value (vref - n_lates) in
+    if Nogood.lit_is_ge l then v >= a else v <= a
+  in
+  let ok = ref true in
+  Nogood.iter db (fun ~lits ~bound ->
+      if best.Solution.late_jobs < bound && Array.for_all lit_holds lits then
+        ok := false);
+  !ok
+
+let prop_same_optimum =
+  QCheck.Test.make ~count:80
+    ~name:"restarts+nogoods reach the plain-DFS optimum (proved runs)"
+    arb_tiny_instance (fun inst ->
+      let o_dfs, best_dfs, _ = run_search ~restart:Restart.Off inst in
+      let db = Nogood.create () in
+      let o_rst, best_rst, model =
+        run_search ~restart:(Restart.Luby 8) ~nogoods:db inst
+      in
+      QCheck.assume (o_dfs.Search.proved_optimal && o_rst.Search.proved_optimal);
+      if best_dfs.Solution.late_jobs <> best_rst.Solution.late_jobs then
+        QCheck.Test.fail_reportf "dfs late=%d restart late=%d"
+          best_dfs.Solution.late_jobs best_rst.Solution.late_jobs;
+      if not (check_nogoods_sound inst model db best_rst) then
+        QCheck.Test.fail_reportf
+          "a recorded nogood prunes the optimal solution (late=%d, %d clauses)"
+          best_rst.Solution.late_jobs (Nogood.size db);
+      true)
+
+let prop_nogoods_sound_vs_dfs_optimum =
+  QCheck.Test.make ~count:80
+    ~name:"recorded nogoods never exclude the independent DFS optimum"
+    arb_tiny_instance (fun inst ->
+      (* check against the *other* search's optimum, so a shared systematic
+         bias in the restart run cannot mask an unsound clause *)
+      let o_dfs, best_dfs, _ = run_search ~restart:Restart.Off inst in
+      let db = Nogood.create () in
+      let o_rst, _, model =
+        run_search ~restart:(Restart.Luby 8) ~nogoods:db inst
+      in
+      QCheck.assume (o_dfs.Search.proved_optimal && o_rst.Search.proved_optimal);
+      check_nogoods_sound inst model db best_dfs)
+
+(* --- solver-level plumbing ---------------------------------------------- *)
+
+let test_solver_restart_options () =
+  reset_tasks ();
+  let inst =
+    instance ~map_cap:2 ~reduce_cap:2
+      (List.init 4 (fun i ->
+           mk_job ~id:i
+             ~deadline:(24 + (6 * i))
+             ~maps:[ 8; 5 ] ~reduces:[ 4 ] ()))
+  in
+  let solve restart =
+    let options =
+      { Cp.Solver.default_options with restart; time_limit = 10.0 }
+    in
+    Cp.Solver.solve ~options inst
+  in
+  let sol_off, stats_off = solve Restart.Off in
+  let sol_on, stats_on = solve (Restart.Luby 32) in
+  Alcotest.(check int)
+    "same late count" sol_off.Solution.late_jobs sol_on.Solution.late_jobs;
+  Alcotest.(check int) "off never restarts" 0 stats_off.Cp.Solver.restarts;
+  Alcotest.(check bool)
+    "restart stat plumbed" true
+    (stats_on.Cp.Solver.restarts >= 0)
+
+let () =
+  Alcotest.run "restarts"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "luby sequence and slices" `Quick
+            test_luby_sequence;
+          Alcotest.test_case "policy string round-trip" `Quick
+            test_policy_strings;
+        ] );
+      ( "trajectory",
+        [
+          Alcotest.test_case "restarts off is bit-identical to pre-PR DFS"
+            `Quick test_off_bit_identical;
+          Alcotest.test_case "restarts fire and respect global limits" `Quick
+            test_restarts_fire_and_limits_hold;
+        ] );
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_same_optimum; prop_nogoods_sound_vs_dfs_optimum ] );
+      ( "solver",
+        [
+          Alcotest.test_case "solver options thread restart policy" `Quick
+            test_solver_restart_options;
+        ] );
+    ]
