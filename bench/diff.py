@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Diff a freshly run bench JSON against its committed baseline.
+
+Usage: bench/diff.py BASELINE.json FRESH.json
+
+Understands the three snapshot formats bench/main.exe emits
+(prop-compare, search-compare, session-compare) and prints one line per
+tracked metric.  A regression of more than REGRESSION_PCT — lower
+throughput (nodes/s), or higher per-invocation overhead O — is surfaced
+as a GitHub Actions ::warning:: annotation so it shows up on the PR
+without failing the (non-blocking) CI step.
+
+Exit code is always 0: the numbers are tracked across PRs, not gated on.
+CI-hardware noise makes a hard gate flap; a human reads the annotation.
+"""
+
+import json
+import sys
+
+REGRESSION_PCT = 20.0
+
+
+def pct(base, fresh):
+    if base == 0:
+        return 0.0
+    return 100.0 * (fresh - base) / base
+
+
+def warn(msg):
+    print(f"::warning title=bench regression::{msg}")
+
+
+def report(label, base, fresh, *, higher_is_better, unit=""):
+    """One tracked metric: print the move, warn past the threshold."""
+    delta = pct(base, fresh)
+    arrow = "better" if (delta > 0) == higher_is_better or delta == 0 else "worse"
+    print(f"  {label}: {base:g}{unit} -> {fresh:g}{unit} ({delta:+.1f}%, {arrow})")
+    regressed = -delta if higher_is_better else delta
+    if regressed > REGRESSION_PCT:
+        warn(f"{label}: {base:g}{unit} -> {fresh:g}{unit} ({delta:+.1f}%)")
+
+
+def diff_prop(base, fresh):
+    fresh_by = {
+        (c["case"], k["kernel"]): k
+        for c in fresh.get("cases", [])
+        for k in c.get("kernels", [])
+    }
+    for c in base.get("cases", []):
+        for k in c.get("kernels", []):
+            key = (c["case"], k["kernel"])
+            f = fresh_by.get(key)
+            if f is None:
+                print(f"  {key}: dropped from fresh run")
+                continue
+            report(
+                f"prop {key[0]}/{key[1]} nodes/s",
+                k["nodes_per_sec"],
+                f["nodes_per_sec"],
+                higher_is_better=True,
+            )
+
+
+def diff_search(base, fresh):
+    fresh_by = {
+        (c["case"], s["search"]): s
+        for c in fresh.get("cases", [])
+        for s in c.get("searches", [])
+    }
+    for c in base.get("cases", []):
+        for s in c.get("searches", []):
+            key = (c["case"], s["search"])
+            f = fresh_by.get(key)
+            if f is None:
+                print(f"  {key}: dropped from fresh run")
+                continue
+            base_rate = s["nodes"] / s["elapsed_s"] if s["elapsed_s"] > 0 else 0.0
+            fresh_rate = f["nodes"] / f["elapsed_s"] if f["elapsed_s"] > 0 else 0.0
+            report(
+                f"search {key[0]}/{key[1]} nodes/s",
+                round(base_rate, 1),
+                round(fresh_rate, 1),
+                higher_is_better=True,
+            )
+            if f["late"] != s["late"]:
+                warn(
+                    f"search {key[0]}/{key[1]} objective moved: "
+                    f"{s['late']} -> {f['late']} late jobs"
+                )
+
+
+def diff_session(base, fresh):
+    for mode in ("cold", "session"):
+        report(
+            f"session-compare {mode} O per invocation",
+            base[mode]["o_per_invocation_s"],
+            fresh[mode]["o_per_invocation_s"],
+            higher_is_better=False,
+            unit="s",
+        )
+        if fresh[mode]["n_late"] != base[mode]["n_late"]:
+            warn(
+                f"session-compare {mode} lateness moved: "
+                f"{base[mode]['n_late']} -> {fresh[mode]['n_late']} late jobs"
+            )
+    report(
+        "session-compare O reduction",
+        base["o_reduction_pct"],
+        fresh["o_reduction_pct"],
+        higher_is_better=True,
+        unit="%",
+    )
+
+
+DIFFERS = {
+    "prop-compare": diff_prop,
+    "search-compare": diff_search,
+    "session-compare": diff_session,
+}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as fp:
+        base = json.load(fp)
+    with open(sys.argv[2]) as fp:
+        fresh = json.load(fp)
+    kind = base.get("bench")
+    if kind != fresh.get("bench"):
+        warn(f"bench kinds differ: baseline {kind!r} vs fresh {fresh.get('bench')!r}")
+        return 0
+    differ = DIFFERS.get(kind)
+    if differ is None:
+        print(f"  unknown bench kind {kind!r}: nothing to diff")
+        return 0
+    print(f"{kind}: {sys.argv[1]} vs {sys.argv[2]}")
+    differ(base, fresh)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

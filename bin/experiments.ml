@@ -32,7 +32,7 @@ let all_ids =
   ]
 
 let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
-    metrics no_warm_start kernel restart =
+    metrics no_warm_start no_session kernel restart =
   let base =
     {
       Expkit.Runner.default_config with
@@ -42,6 +42,7 @@ let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
       validate;
       instrument = metrics;
       warm_start = not no_warm_start;
+      session = not no_session;
       kernel;
       restart;
     }
@@ -171,6 +172,13 @@ let no_warm_start =
            ~doc:"Disable warm-start re-solving: cold solve on every \
                  manager invocation, as in the paper.")
 
+let no_session =
+  Arg.(value & flag
+       & info [ "no-session" ]
+           ~doc:"Disable the persistent solver session: rebuild the store \
+                 and model on every manager invocation (the historical \
+                 cold path).")
+
 let kernel =
   let kernel_conv =
     Arg.enum
@@ -205,11 +213,12 @@ let cmd =
   let term =
     Term.(
       const (fun ids reps jobs fb_jobs seed budget out validate lambdas
-                 trace_out metrics no_warm_start kernel restart ->
+                 trace_out metrics no_warm_start no_session kernel restart ->
           run_ids (expand ids) reps jobs fb_jobs seed budget out validate
-            lambdas trace_out metrics no_warm_start kernel restart)
+            lambdas trace_out metrics no_warm_start no_session kernel restart)
       $ ids_arg $ reps $ jobs $ fb_jobs $ seed $ budget $ out $ validate
-      $ lambdas $ trace_out $ metrics $ no_warm_start $ kernel $ restart)
+      $ lambdas $ trace_out $ metrics $ no_warm_start $ no_session $ kernel
+      $ restart)
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")

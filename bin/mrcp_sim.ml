@@ -20,8 +20,9 @@ let print_metrics = function
 
 let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
     seed budget ordering domains deferral validate verbose replay trace_out
-    metrics no_warm_start kernel restart =
+    metrics no_warm_start no_session kernel restart =
   let warm_start = not no_warm_start in
+  let session = not no_session in
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -42,6 +43,7 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
       validate;
       instrument = metrics;
       warm_start;
+      session;
       kernel;
       restart;
     }
@@ -83,7 +85,8 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
                 Opensim.Driver.of_mrcp
                   (Mrcp.Manager.create ~cluster
                      { Mrcp.Manager.solver; domains;
-                       deferral_window = deferral; validate; warm_start })
+                       deferral_window = deferral; validate; warm_start;
+                       session })
             | Expkit.Runner.Min_edf_wc | Expkit.Runner.Edf_wc
             | Expkit.Runner.Fcfs_wc ->
                 let policy =
@@ -219,6 +222,11 @@ let term =
            & info [ "no-warm-start" ]
                ~doc:"Disable warm-start re-solving: cold solve on every \
                      invocation, as in the paper.")
+    $ Arg.(value & flag
+           & info [ "no-session" ]
+               ~doc:"Disable the persistent solver session: rebuild the \
+                     store and model on every invocation (the historical \
+                     cold path, bit-identical trajectories).")
     $ Arg.(value & opt kernel_conv Cp.Propagators.Both
            & info [ "kernel" ]
                ~doc:"Propagation kernel: timetable (incremental time table), \

@@ -13,6 +13,7 @@ type config = {
   deferral_window : int option;
   validate : bool;
   warm_start : bool;
+  session : bool;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     deferral_window = Some 300_000 (* 300 s *);
     validate = false;
     warm_start = true;
+    session = true;
   }
 
 type task_state = {
@@ -54,6 +56,10 @@ type t = {
   mutable scheduled_jobs : int;
   mutable last_stats : Cp.Solver.stats option;
   mutable last_portfolio : Cp.Portfolio.stats option;
+  (* the persistent solver store, created lazily at the first solve; None
+     when [config.session] is off or [config.domains > 1] (the portfolio's
+     workers each need their own store) *)
+  mutable session : Cp.Session.t option;
   (* manager-level metrics (invocation counts/latency), allocated only when
      [config.solver.instrument] is set *)
   registry : Obs.Metrics.t option;
@@ -82,6 +88,7 @@ let create ~cluster config =
     scheduled_jobs = 0;
     last_stats = None;
     last_portfolio = None;
+    session = None;
     registry =
       (if config.solver.Cp.Solver.instrument then Some (Obs.Metrics.create ())
        else None);
@@ -281,6 +288,17 @@ let invoke t ~now =
         in
         t.last_portfolio <- Some ps;
         (sol, ps.Cp.Portfolio.base)
+      end
+      else if t.config.session then begin
+        let session =
+          match t.session with
+          | Some s -> s
+          | None ->
+              let s = Cp.Session.create ~options () in
+              t.session <- Some s;
+              s
+        in
+        Cp.Session.solve session ~options inst
       end
       else Cp.Solver.solve ~options inst
     in

@@ -49,11 +49,19 @@ type config = {
           already meets the lower bound.  Default [true]; disable
           ([--no-warm-start] in the CLIs) to reproduce the paper's cold
           re-solve on every invocation. *)
+  session : bool;
+      (** solve through one persistent {!Cp.Session} — the manager's solver
+          store is created once and diffed between invocations (arrivals
+          appended, completed tasks retracted, nogoods carried) instead of
+          rebuilt from scratch.  Only effective with [domains = 1]; the
+          portfolio's workers each build their own store.  Default [true];
+          disable ([--no-session] in the CLIs) to reproduce the historical
+          cold per-invocation {!Cp.Solver.solve} bit-for-bit. *)
 }
 
 val default_config : config
 (** EDF ordering, 1 domain (sequential), deferral window 300 s, validation
-    off, warm start on. *)
+    off, warm start on, persistent session on. *)
 
 type t
 

@@ -99,11 +99,12 @@ let job_min_completion (inst : Instance.t) (j : Instance.pending_job) =
   in
   max j.Instance.frozen_completion completion
 
+let job_doomed (inst : Instance.t) (j : Instance.pending_job) =
+  job_min_completion inst j > j.Instance.job.T.deadline
+
 let late_lower_bound (inst : Instance.t) =
   Array.fold_left
-    (fun acc j ->
-      if job_min_completion inst j > j.Instance.job.T.deadline then acc + 1
-      else acc)
+    (fun acc j -> if job_doomed inst j then acc + 1 else acc)
     0 inst.Instance.jobs
 
 (* EDF sequence with provably-doomed jobs pushed last: a job that cannot meet
@@ -490,15 +491,22 @@ let solve_linked ~options ~link (inst : Instance.t) =
   else begin
     let task_count = Instance.pending_task_count inst in
     if task_count <= options.exact_task_limit then begin
+      (* an improving solution that reaches [lb] is already optimal — stop
+         there instead of exhausting the rest of the tree to re-prove it *)
+      let hit_lb = ref false in
       let limits =
         {
           Search.fail_limit = options.fail_limit;
           node_limit = 0;
           wall_deadline = Some deadline;
-          interrupt = Some link.should_stop;
+          interrupt = Some (fun () -> !hit_lb || link.should_stop ());
           tighten_bound =
             (if link.isolated then None else Some link.global_bound);
-          on_improve = Some link.announce;
+          on_improve =
+            Some
+              (fun v ->
+                if v <= lb then hit_lb := true;
+                link.announce v);
         }
       in
       (match db with Some d -> Nogood.set_context d "exact" | None -> ());
@@ -515,7 +523,8 @@ let solve_linked ~options ~link (inst : Instance.t) =
         | Some better -> better
         | None -> seed_sol
       in
-      finish incumbent outcome.Search.proved_optimal
+      finish incumbent
+        (outcome.Search.proved_optimal || incumbent.Solution.late_jobs <= lb)
     end
     else begin
       (* LNS over job neighbourhoods *)

@@ -160,6 +160,12 @@ val late_lower_bound : Sched.Instance.t -> int
     single-job wave lower bound (max task length vs. total-work/capacity,
     per phase) already exceeds the deadline. *)
 
+val job_doomed : Sched.Instance.t -> Sched.Instance.pending_job -> bool
+(** Can the job provably not meet its deadline even with the whole cluster
+    to itself (wave bound from est over frozen floors)?  Independent of
+    every other job, so these dooms add onto any lower bound for a disjoint
+    job set — {!Cp.Session} exploits exactly that. *)
+
 val solve : ?options:options -> Sched.Instance.t -> Sched.Solution.t * stats
 (** Never fails: at worst returns the greedy seed. *)
 

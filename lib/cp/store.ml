@@ -80,12 +80,21 @@ and t = {
   mutable mins : int array;
   mutable maxs : int array;
   mutable nvars : int;
-  (* Event-granular watch lists: set_min wakes only [on_min] (plus [on_fix]
-     when the domain just became a singleton), set_max symmetrically.  A
-     propagator that reads both bounds registers in both lists. *)
-  mutable on_min : Vec.t array;
-  mutable on_max : Vec.t array;
-  mutable on_fix : Vec.t array;
+  (* Event-granular watch lists: set_min wakes only the min list (plus the
+     fix list when the domain just became a singleton), set_max
+     symmetrically.  A propagator that reads both bounds registers in both
+     lists.  Struct-of-arrays layout: instead of one growable vector per
+     (variable, event), every watch edge is a slot in the shared
+     [wl_pid]/[wl_next] pool and each (variable, event) keeps only head/tail
+     slot indices ([3 * var + event], -1 = empty).  Appending at the tail
+     preserves registration order, so notification order — and hence the
+     search trajectory — is identical to the per-variable vectors this
+     replaces, while [new_var] no longer allocates anything. *)
+  mutable watch_head : int array;
+  mutable watch_tail : int array;
+  mutable wl_pid : int array;
+  mutable wl_next : int array;
+  mutable wl_len : int;
   mutable props : propagator array;
   mutable nprops : int;
   (* Three priority buckets of pending propagators. *)
@@ -124,16 +133,21 @@ let dummy_prop =
   { run = (fun _ -> ()); priority = 1; idempotent = false; queued = false;
     seen = 0 }
 
-let dummy_watch = { Vec.data = [||]; len = 0 }
+(* Watch-event indices into [watch_head]/[watch_tail]. *)
+let ev_min = 0
+let ev_max = 1
+let ev_fix = 2
 
 let create () =
   {
     mins = Array.make 64 0;
     maxs = Array.make 64 0;
     nvars = 0;
-    on_min = Array.make 64 dummy_watch;
-    on_max = Array.make 64 dummy_watch;
-    on_fix = Array.make 64 dummy_watch;
+    watch_head = Array.make (3 * 64) (-1);
+    watch_tail = Array.make (3 * 64) (-1);
+    wl_pid = Array.make 64 0;
+    wl_next = Array.make 64 (-1);
+    wl_len = 0;
     props = Array.make 16 dummy_prop;
     nprops = 0;
     queues = Array.init 3 (fun _ -> Ring.create ());
@@ -171,17 +185,25 @@ let new_var t ~min ~max =
     t.maxs <- grow t.maxs 0;
     t.mod_stamp <- grow t.mod_stamp 0;
     t.undo_stamp <- grow t.undo_stamp 0;
-    t.on_min <- grow t.on_min dummy_watch;
-    t.on_max <- grow t.on_max dummy_watch;
-    t.on_fix <- grow t.on_fix dummy_watch
+    let grow3 a =
+      let a' = Array.make (3 * n) (-1) in
+      Array.blit a 0 a' 0 (3 * id);
+      a'
+    in
+    t.watch_head <- grow3 t.watch_head;
+    t.watch_tail <- grow3 t.watch_tail
   end;
   t.mins.(id) <- min;
   t.maxs.(id) <- max;
   t.mod_stamp.(id) <- 0;
   t.undo_stamp.(id) <- 0;
-  t.on_min.(id) <- Vec.create ~capacity:4 ();
-  t.on_max.(id) <- Vec.create ~capacity:4 ();
-  t.on_fix.(id) <- Vec.create ~capacity:4 ();
+  let base = 3 * id in
+  t.watch_head.(base) <- -1;
+  t.watch_head.(base + 1) <- -1;
+  t.watch_head.(base + 2) <- -1;
+  t.watch_tail.(base) <- -1;
+  t.watch_tail.(base + 1) <- -1;
+  t.watch_tail.(base + 2) <- -1;
   t.nvars <- id + 1;
   id
 
@@ -210,9 +232,11 @@ let enqueue_for t v pid =
     Ring.push t.queues.(p.priority) pid
   end
 
-let notify_list t v (vec : Vec.t) =
-  for k = 0 to vec.Vec.len - 1 do
-    enqueue_for t v vec.Vec.data.(k)
+let notify_list t v ev =
+  let k = ref t.watch_head.((3 * v) + ev) in
+  while !k >= 0 do
+    enqueue_for t v t.wl_pid.(!k);
+    k := t.wl_next.(!k)
   done
 
 let touch t v =
@@ -237,8 +261,8 @@ let set_min t v x =
     Vec.push t.trail_values t.mins.(v);
     t.mins.(v) <- x;
     touch t v;
-    notify_list t v t.on_min.(v);
-    if t.mins.(v) = t.maxs.(v) then notify_list t v t.on_fix.(v)
+    notify_list t v ev_min;
+    if t.mins.(v) = t.maxs.(v) then notify_list t v ev_fix
   end
 
 let set_max t v x =
@@ -248,8 +272,8 @@ let set_max t v x =
     Vec.push t.trail_values t.maxs.(v);
     t.maxs.(v) <- x;
     touch t v;
-    notify_list t v t.on_max.(v);
-    if t.mins.(v) = t.maxs.(v) then notify_list t v t.on_fix.(v)
+    notify_list t v ev_max;
+    if t.mins.(v) = t.maxs.(v) then notify_list t v ev_fix
   end
 
 let fix t v x =
@@ -277,13 +301,54 @@ let register t ?(priority = 1) ?(name = "anon") ?(idempotent = false) run =
   t.nprops <- id + 1;
   id
 
-let watch_min t v pid = Vec.push t.on_min.(v) pid
-let watch_max t v pid = Vec.push t.on_max.(v) pid
-let watch_fix t v pid = Vec.push t.on_fix.(v) pid
+(* Append one watch edge at the tail of (v, ev)'s list so that walking the
+   list replays registrations in order. *)
+let watch_ev t v ev pid =
+  if t.wl_len = Array.length t.wl_pid then begin
+    let grow a fill =
+      let a' = Array.make (2 * t.wl_len) fill in
+      Array.blit a 0 a' 0 t.wl_len;
+      a'
+    in
+    t.wl_pid <- grow t.wl_pid 0;
+    t.wl_next <- grow t.wl_next (-1)
+  end;
+  let slot = t.wl_len in
+  t.wl_len <- slot + 1;
+  t.wl_pid.(slot) <- pid;
+  t.wl_next.(slot) <- -1;
+  let key = (3 * v) + ev in
+  let tail = t.watch_tail.(key) in
+  if tail < 0 then t.watch_head.(key) <- slot else t.wl_next.(tail) <- slot;
+  t.watch_tail.(key) <- slot
+
+let watch_min t v pid = watch_ev t v ev_min pid
+let watch_max t v pid = watch_ev t v ev_max pid
+let watch_fix t v pid = watch_ev t v ev_fix pid
 
 let watch t v pid =
   watch_min t v pid;
   watch_max t v pid
+
+(* Unlink every watch edge of [pid] from [v]'s three lists.  The pool slots
+   are not recycled — retraction is rare compared to registration, and a
+   leaked slot is one int pair — but the lists themselves stay exact, so a
+   retracted propagator is never notified again. *)
+let unwatch t v pid =
+  for ev = 0 to 2 do
+    let key = (3 * v) + ev in
+    let prev = ref (-1) and k = ref t.watch_head.(key) in
+    while !k >= 0 do
+      let next = t.wl_next.(!k) in
+      if t.wl_pid.(!k) = pid then begin
+        if !prev < 0 then t.watch_head.(key) <- next
+        else t.wl_next.(!prev) <- next;
+        if next < 0 then t.watch_tail.(key) <- !prev
+      end
+      else prev := !k;
+      k := next
+    done
+  done
 
 (* Unconditional wakeup: used for the initial run and when non-variable
    input changed (e.g. the objective bound ref), which the timestamp rule
@@ -366,12 +431,16 @@ let backtrack t =
 
 let level t = Vec.length t.level_marks
 
-let backtrack_to_root t =
-  while level t > 0 do
+let backtrack_to t target =
+  if target < 0 || target > level t then
+    invalid_arg "Store.backtrack_to: bad target level";
+  while level t > target do
     backtrack t
   done;
-  (* no propagators should survive across a full reset *)
+  (* no pending wakeups should survive across a search reset *)
   drain_queues t
+
+let backtrack_to_root t = backtrack_to t 0
 
 let num_vars t = t.nvars
 let stats_propagations t = t.propagations

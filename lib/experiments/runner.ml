@@ -22,6 +22,7 @@ type config = {
   validate : bool;
   instrument : bool;
   warm_start : bool;
+  session : bool;
   kernel : Cp.Propagators.kernel;
   restart : Cp.Restart.policy;
 }
@@ -39,6 +40,7 @@ let default_config =
     validate = false;
     instrument = false;
     warm_start = true;
+    session = true;
     kernel = Cp.Propagators.Both;
     restart = Cp.Restart.Off;
   }
@@ -84,6 +86,7 @@ let make_driver config cluster ~seed =
           deferral_window = config.deferral_window;
           validate = config.validate;
           warm_start = config.warm_start;
+          session = config.session;
         }
       in
       Opensim.Driver.of_mrcp (Mrcp.Manager.create ~cluster mconfig)

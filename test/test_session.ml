@@ -1,0 +1,436 @@
+(* Differential tests for the persistent solver session (Cp.Session).
+
+   The core property: driven through the same arrival / complete / freeze
+   sequence, the persistent session and a fresh cold solve must prove the
+   same optimum on every instance (the session's store is a live superset of
+   the cold model — wider horizon, retracted tasks fixed in place — so under
+   proof-complete budgets both searches are complete over the same feasible
+   set).  The mini-driver below replays the manager's Table-2 classification
+   without the manager, so the session sees realistic diffs: est bumps,
+   frozen (started-but-running) tasks, retracted completions, departed jobs,
+   and mid-stream arrivals. *)
+
+module T = Mapreduce.Types
+module Instance = Sched.Instance
+module Solution = Sched.Solution
+
+(* Proof-complete options: on Gen.tiny-scale instances every solve runs the
+   exact B&B to exhaustion, so session and cold must both prove and land on
+   the same objective. *)
+let proof_options restart =
+  {
+    Cp.Solver.default_options with
+    Cp.Solver.exact_task_limit = 200;
+    fail_limit = 1_000_000;
+    time_limit = 60.;
+    seed = 7;
+    restart;
+  }
+
+(* --- mini-driver: Table-2 classification against an installed plan ------ *)
+
+(* [classify ~now dispatch j] mirrors Mrcp.Manager's per-invocation task
+   classification: a dispatched task whose window ended is completed, one
+   that started is frozen at its dispatch, everything else (including
+   dispatches still in the future — the next solve may move them) is
+   pending.  Returns [None] once every task of the job has completed. *)
+let classify ~now dispatch (j : T.job) =
+  let part tasks =
+    let completed = ref [] and fixed = ref [] and pending = ref [] in
+    Array.iter
+      (fun (t : T.task) ->
+        match Hashtbl.find_opt dispatch t.T.task_id with
+        | Some s when s + t.T.exec_time <= now ->
+            completed := (t, s) :: !completed
+        | Some s when s <= now -> fixed := (t, s) :: !fixed
+        | Some _ | None ->
+            Hashtbl.remove dispatch t.T.task_id;
+            pending := t :: !pending)
+      tasks;
+    (List.rev !completed, List.rev !fixed, List.rev !pending)
+  in
+  let cm, fm, pm = part j.T.map_tasks in
+  let cr, fr, pr = part j.T.reduce_tasks in
+  if pm = [] && pr = [] && fm = [] && fr = [] then None
+  else
+    let finish (t, s) = s + t.T.exec_time in
+    let max_finish l = List.fold_left (fun acc p -> max acc (finish p)) 0 l in
+    let to_fixed (t, s) = { Instance.task = t; start = s } in
+    Some
+      {
+        Instance.job = j;
+        est = max j.T.earliest_start now;
+        pending_maps = Array.of_list pm;
+        pending_reduces = Array.of_list pr;
+        fixed_maps = Array.of_list (List.map to_fixed fm);
+        fixed_reduces = Array.of_list (List.map to_fixed fr);
+        frozen_lfmt = max_finish (cm @ fm);
+        frozen_completion = max_finish (cm @ fm @ cr @ fr);
+      }
+
+let instance_at ~now ~map_cap ~reduce_cap dispatch jobs =
+  let pjobs =
+    jobs
+    |> List.filter (fun j -> j.T.arrival <= now)
+    |> List.filter_map (classify ~now dispatch)
+  in
+  {
+    Instance.now;
+    map_capacity = map_cap;
+    reduce_capacity = reduce_cap;
+    jobs = Array.of_list pjobs;
+  }
+
+let install dispatch (inst : Instance.t) (sol : Solution.t) =
+  Array.iter
+    (fun pj ->
+      Array.iter
+        (fun (t : T.task) ->
+          Hashtbl.replace dispatch t.T.task_id
+            (Solution.start_of sol ~task_id:t.T.task_id))
+        (Array.append pj.Instance.pending_maps pj.Instance.pending_reduces))
+    inst.Instance.jobs
+
+(* Event times: every distinct arrival, plus two drain points so tasks
+   complete (exercising retraction) and jobs depart entirely. *)
+let event_times jobs =
+  let arrivals = List.map (fun j -> j.T.arrival) jobs in
+  let last = List.fold_left max 0 arrivals in
+  List.sort_uniq compare (arrivals @ [ last + 37; last + 5_000 ])
+
+(* Run the whole stream through one persistent session, cold-solving every
+   instance alongside it.  [check inst session_result cold_result] runs per
+   event; the session's plan drives the stream. *)
+let drive ~options ~map_cap ~reduce_cap jobs check =
+  let session = Cp.Session.create ~options () in
+  let dispatch = Hashtbl.create 64 in
+  List.iter
+    (fun now ->
+      let inst = instance_at ~now ~map_cap ~reduce_cap dispatch jobs in
+      let ssol, sst = Cp.Session.solve session ~options inst in
+      let csol, cst = Cp.Solver.solve ~options inst in
+      check inst (ssol, sst) (csol, cst);
+      install dispatch inst ssol)
+    (event_times jobs);
+  session
+
+(* --- random job streams ------------------------------------------------- *)
+
+let gen_stream =
+  let open QCheck.Gen in
+  let* n = int_range 2 5 in
+  let* gaps = list_repeat n (int_range 0 45) in
+  let* specs =
+    flatten_l
+      (List.init n (fun id ->
+           let* n_maps = int_range 1 3 in
+           let* n_reduces = int_range 0 2 in
+           let* maps = list_repeat n_maps (int_range 1 20) in
+           let* reduces = list_repeat n_reduces (int_range 1 20) in
+           let* est_off = int_range 0 30 in
+           let* slack = int_range 0 60 in
+           return (id, maps, reduces, est_off, slack)))
+  in
+  let* map_cap = int_range 1 3 in
+  let* reduce_cap = int_range 1 3 in
+  Gen.reset_tasks ();
+  let _, jobs =
+    List.fold_left2
+      (fun (t, acc) gap (id, maps, reduces, est_off, slack) ->
+        let arrival = t + gap in
+        let est = arrival + est_off in
+        let total =
+          List.fold_left ( + ) 0 maps + List.fold_left ( + ) 0 reduces
+        in
+        let j =
+          Gen.mk_job ~id ~arrival ~est
+            ~deadline:(est + (total / 2) + slack)
+            ~maps ~reduces ()
+        in
+        (arrival, j :: acc))
+      (0, []) gaps specs
+  in
+  return (List.rev jobs, map_cap, reduce_cap)
+
+let print_stream (jobs, map_cap, reduce_cap) =
+  Format.asprintf "caps=(%d,%d)@ %a" map_cap reduce_cap
+    (Format.pp_print_list T.pp_job)
+    jobs
+
+let arb_stream = QCheck.make ~print:print_stream gen_stream
+
+(* --- properties --------------------------------------------------------- *)
+
+(* (a) Per invocation, session and cold solve prove the same Σ N_j, and the
+   session's solution passes the Table-1 oracle for the instance. *)
+let prop_session_matches_cold ~restart ~count name =
+  QCheck.Test.make ~count ~name arb_stream
+    (fun (jobs, map_cap, reduce_cap) ->
+      let options = proof_options restart in
+      let _session =
+        drive ~options ~map_cap ~reduce_cap jobs
+          (fun inst (ssol, sst) (csol, cst) ->
+            if not sst.Cp.Solver.proved_optimal then
+              QCheck.Test.fail_reportf "session did not prove: %a" Instance.pp
+                inst;
+            if not cst.Cp.Solver.proved_optimal then
+              QCheck.Test.fail_reportf "cold did not prove: %a" Instance.pp
+                inst;
+            if ssol.Solution.late_jobs <> csol.Solution.late_jobs then
+              QCheck.Test.fail_reportf
+                "optima differ: session %d vs cold %d on %a"
+                ssol.Solution.late_jobs csol.Solution.late_jobs Instance.pp
+                inst;
+            match Solution.feasibility_errors inst ssol with
+            | [] -> ()
+            | errs ->
+                QCheck.Test.fail_reportf "session solution infeasible: %s"
+                  (String.concat "; " errs))
+      in
+      true)
+
+(* (b) Session bookkeeping under lazy sync: the store only sees the jobs of
+   invocations that actually searched (seed-optimal and LNS invocations
+   never touch it), so the exact stream totals are upper bounds — but the
+   counters must stay consistent with them, and nothing on these tiny
+   streams may force a rebuild. *)
+let prop_session_counters =
+  QCheck.Test.make ~count:40 ~name:"session counters account for the stream"
+    arb_stream
+    (fun (jobs, map_cap, reduce_cap) ->
+      let options = proof_options Cp.Restart.Off in
+      let session =
+        drive ~options ~map_cap ~reduce_cap jobs (fun _ _ _ -> ())
+      in
+      let n_tasks = List.fold_left (fun acc j -> acc + T.task_count j) 0 jobs in
+      let appended = Cp.Session.stats_appended_jobs session in
+      let retracted = Cp.Session.stats_retracted session in
+      let rebuilds = Cp.Session.stats_rebuilds session in
+      if rebuilds <> 0 then
+        QCheck.Test.fail_reportf "%d rebuilds on a tiny stream" rebuilds;
+      if appended > List.length jobs then
+        QCheck.Test.fail_reportf "appended %d jobs, stream has only %d"
+          appended (List.length jobs);
+      if retracted > n_tasks then
+        QCheck.Test.fail_reportf "retracted %d tasks, stream has only %d"
+          retracted n_tasks;
+      true)
+
+(* --- deterministic cases ------------------------------------------------ *)
+
+(* Contention streams exercise the store: two unit-capacity jobs whose
+   deadlines only one can meet force a real search (the contention lateness
+   is invisible to the solo lower bound), so the session must sync.  A
+   second contending pair arriving after the first drained makes that later
+   sync retire the departed pair's tasks.  Lazy sync means only searched
+   invocations touch the store: the drain events at the end are
+   seed-optimal and never sync, so the second pair's tasks are still live
+   when the stream ends — appended counts all four jobs, retracted only the
+   first pair's tasks. *)
+let contention_stream () =
+  Gen.reset_tasks ();
+  [
+    Gen.mk_job ~id:0 ~deadline:10 ~maps:[ 10 ] ~reduces:[] ();
+    Gen.mk_job ~id:1 ~deadline:12 ~maps:[ 10 ] ~reduces:[] ();
+    Gen.mk_job ~id:2 ~arrival:21 ~est:21 ~deadline:31 ~maps:[ 10 ]
+      ~reduces:[] ();
+    Gen.mk_job ~id:3 ~arrival:21 ~est:21 ~deadline:33 ~maps:[ 10 ]
+      ~reduces:[] ();
+  ]
+
+let test_counters_deterministic () =
+  let jobs = contention_stream () in
+  let options = proof_options Cp.Restart.Off in
+  let session =
+    drive ~options ~map_cap:1 ~reduce_cap:1 jobs
+      (fun inst (ssol, sst) (csol, cst) ->
+        Alcotest.(check bool) "session proved" true sst.Cp.Solver.proved_optimal;
+        Alcotest.(check bool) "cold proved" true cst.Cp.Solver.proved_optimal;
+        Alcotest.(check int) "same optimum" csol.Solution.late_jobs
+          ssol.Solution.late_jobs;
+        Alcotest.(check (list string))
+          "feasible" []
+          (Solution.feasibility_errors inst ssol))
+  in
+  Alcotest.(check int) "appended" 4 (Cp.Session.stats_appended_jobs session);
+  Alcotest.(check int) "retracted" 2 (Cp.Session.stats_retracted session);
+  Alcotest.(check int) "rebuilds" 0 (Cp.Session.stats_rebuilds session)
+
+(* The carried optimality certificate: after the t = 0 search proves the
+   contending pair costs one late job, a t = 1 re-invocation (triggered by a
+   harmless third arrival) still seeds at one late — but the solo lower
+   bound is 0, because the lateness comes from contention, not from any job
+   alone.  A cold solve must search again to re-prove it; the session's
+   certificate carries the t = 0 proof across, so the invocation finishes
+   seed-optimal with no search at all. *)
+let test_cert_proof () =
+  Gen.reset_tasks ();
+  let jobs =
+    [
+      Gen.mk_job ~id:0 ~deadline:10 ~maps:[ 10 ] ~reduces:[] ();
+      Gen.mk_job ~id:1 ~deadline:12 ~maps:[ 10 ] ~reduces:[] ();
+      Gen.mk_job ~id:2 ~arrival:1 ~est:1 ~deadline:100 ~maps:[ 2 ]
+        ~reduces:[] ();
+    ]
+  in
+  let options = proof_options Cp.Restart.Off in
+  let session =
+    drive ~options ~map_cap:1 ~reduce_cap:1 jobs
+      (fun inst (ssol, sst) (csol, cst) ->
+        Alcotest.(check bool) "session proved" true sst.Cp.Solver.proved_optimal;
+        Alcotest.(check bool) "cold proved" true cst.Cp.Solver.proved_optimal;
+        Alcotest.(check int) "same optimum" csol.Solution.late_jobs
+          ssol.Solution.late_jobs;
+        if inst.Instance.now = 1 then
+          Alcotest.(check int) "no search at t=1" 0 sst.Cp.Solver.nodes)
+  in
+  Alcotest.(check int) "one certificate proof" 1
+    (Cp.Session.stats_cert_proofs session)
+
+(* An empty invocation (every job already departed) must come back optimal
+   with zero late jobs and leave the session healthy for a later arrival. *)
+let test_empty_invocation () =
+  Gen.reset_tasks ();
+  let j0 = Gen.mk_job ~id:0 ~deadline:20 ~maps:[ 3 ] ~reduces:[] () in
+  let j1 =
+    Gen.mk_job ~id:1 ~arrival:100 ~est:100 ~deadline:140 ~maps:[ 4 ]
+      ~reduces:[ 2 ] ()
+  in
+  let options = proof_options Cp.Restart.Off in
+  let session = Cp.Session.create ~options () in
+  let dispatch = Hashtbl.create 16 in
+  let solve_at now =
+    let inst =
+      instance_at ~now ~map_cap:2 ~reduce_cap:2 dispatch [ j0; j1 ]
+    in
+    let sol, st = Cp.Session.solve session ~options inst in
+    install dispatch inst sol;
+    (inst, sol, st)
+  in
+  let _, _, _ = solve_at 0 in
+  (* j0's single map ran at 0..3; by 50 it has departed and j1 has not
+     arrived: the instance is empty. *)
+  let _, sol50, st50 = solve_at 50 in
+  Alcotest.(check int) "empty optimum" 0 sol50.Solution.late_jobs;
+  Alcotest.(check bool) "empty proved" true st50.Cp.Solver.proved_optimal;
+  let inst100, sol100, st100 = solve_at 100 in
+  Alcotest.(check bool) "later arrival proved" true
+    st100.Cp.Solver.proved_optimal;
+  Alcotest.(check (list string))
+    "later arrival feasible" []
+    (Solution.feasibility_errors inst100 sol100)
+
+(* --no-session bit-identity: with the session disabled the manager's first
+   invocation routes through Cp.Solver.solve on the classified instance, so
+   its search trajectory (nodes, failures, seed, bound, proof) and objective
+   must match a direct cold solve on the equivalent fresh-jobs instance. *)
+let test_no_session_bit_identity () =
+  (* single-task phases: the manager's classify reverses per-phase task
+     order, so multi-task phases would not reproduce of_fresh_jobs's layout *)
+  let mk () =
+    Gen.reset_tasks ();
+    [
+      Gen.mk_job ~id:0 ~deadline:11 ~maps:[ 6 ] ~reduces:[ 4 ] ();
+      Gen.mk_job ~id:1 ~deadline:19 ~maps:[ 5 ] ~reduces:[ 3 ] ();
+      Gen.mk_job ~id:2 ~deadline:26 ~maps:[ 4 ] ~reduces:[ 2 ] ();
+    ]
+  in
+  let jobs = mk () in
+  let base = proof_options Cp.Restart.Off in
+  let cluster =
+    T.uniform_cluster ~m:1 ~map_capacity:1 ~reduce_capacity:1
+  in
+  let mgr =
+    Mrcp.Manager.create ~cluster
+      {
+        Mrcp.Manager.solver = base;
+        domains = 1;
+        deferral_window = None;
+        validate = true;
+        warm_start = false;
+        session = false;
+      }
+  in
+  List.iter (fun j -> Mrcp.Manager.submit mgr ~now:0 j) jobs;
+  Mrcp.Manager.invoke mgr ~now:0;
+  let mstats =
+    match Mrcp.Manager.last_solver_stats mgr with
+    | Some s -> s
+    | None -> Alcotest.fail "manager did not solve"
+  in
+  let jobs' = mk () in
+  let inst =
+    Instance.of_fresh_jobs ~now:0 ~map_capacity:1 ~reduce_capacity:1 jobs'
+  in
+  (* the manager salts the LNS seed with its solve counter (0 here) and
+     passes warm_start = None on a cold first invocation *)
+  let _, dstats = Cp.Solver.solve ~options:base inst in
+  Alcotest.(check int) "nodes" dstats.Cp.Solver.nodes mstats.Cp.Solver.nodes;
+  Alcotest.(check int) "failures" dstats.Cp.Solver.failures
+    mstats.Cp.Solver.failures;
+  Alcotest.(check int) "seed_late" dstats.Cp.Solver.seed_late
+    mstats.Cp.Solver.seed_late;
+  Alcotest.(check int) "lower_bound" dstats.Cp.Solver.lower_bound
+    mstats.Cp.Solver.lower_bound;
+  Alcotest.(check bool) "proved" dstats.Cp.Solver.proved_optimal
+    mstats.Cp.Solver.proved_optimal
+
+(* Instrumented session solves surface the session counters in stats; their
+   per-invocation deltas must sum to the same totals the introspection
+   accessors report. *)
+let test_session_metrics () =
+  let jobs = contention_stream () in
+  let options =
+    { (proof_options Cp.Restart.Off) with Cp.Solver.instrument = true }
+  in
+  let snaps = ref [] in
+  let _session =
+    drive ~options ~map_cap:1 ~reduce_cap:1 jobs
+      (fun _ (_, sst) _ ->
+        match sst.Cp.Solver.metrics with
+        | Some snap -> snaps := snap :: !snaps
+        | None -> Alcotest.fail "instrumented session solve without metrics")
+  in
+  let merged = Obs.Metrics.merge_all (List.rev !snaps) in
+  let counter name =
+    match List.assoc_opt name merged.Obs.Metrics.counters with
+    | Some v -> v
+    | None -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check int) "session/appended_jobs" 4
+    (counter "session/appended_jobs");
+  Alcotest.(check int) "session/retracted" 2 (counter "session/retracted");
+  Alcotest.(check int) "session/rebuilds" 0 (counter "session/rebuilds");
+  Alcotest.(check bool) "session/cert_proofs present" true
+    (List.mem_assoc "session/cert_proofs" merged.Obs.Metrics.counters);
+  Alcotest.(check bool) "store/words_allocated present" true
+    (List.mem_assoc "store/words_allocated" merged.Obs.Metrics.counters)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+let () =
+  Alcotest.run "session"
+    [
+      ( "differential",
+        qsuite
+          [
+            prop_session_matches_cold ~restart:Cp.Restart.Off ~count:35
+              "session = cold optimum (no restarts)";
+            prop_session_matches_cold ~restart:(Cp.Restart.Luby 16) ~count:20
+              "session = cold optimum (luby restarts, carried nogoods)";
+            prop_session_counters;
+          ] );
+      ( "deterministic",
+        [
+          Alcotest.test_case "counters over contending pairs" `Quick
+            test_counters_deterministic;
+          Alcotest.test_case "certificate carries a proof" `Quick
+            test_cert_proof;
+          Alcotest.test_case "empty invocation mid-stream" `Quick
+            test_empty_invocation;
+          Alcotest.test_case "--no-session bit-identity" `Quick
+            test_no_session_bit_identity;
+          Alcotest.test_case "instrumented session counters" `Quick
+            test_session_metrics;
+        ] );
+    ]
