@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate a decision-journal JSONL file (written with --journal).
+
+Usage: bench/check_journal.py JOURNAL.jsonl
+
+Checks the envelope contract every consumer (mrcp_audit, the determinism
+tests) relies on:
+
+  - every line is a JSON object with v == 1;
+  - seq is contiguous from 0 (the file is complete and ordered);
+  - t (virtual ms) is a non-negative integer, non-decreasing within a
+    run (it resets after each run-end: one journal may hold several
+    replications);
+  - ev is a known event kind carrying its required fields;
+  - the "wall" key, when present, is the LAST key of the object -- the
+    determinism contract canonicalizes lines by stripping the trailing
+    wall suffix textually, so anything after it would survive the strip
+    and break same-seed fingerprint equality.
+
+Exit 0 when the journal is well-formed, 1 otherwise (one line per
+violation on stderr).
+"""
+
+import json
+import sys
+
+REQUIRED = {
+    "arrival": {"job", "est", "deadline", "tasks"},
+    "submit": {"job", "action", "reason", "est", "deadline"},
+    "invoke": {"invocation", "arrived", "active_jobs", "pending_tasks",
+               "late", "late_delta", "cache_hit", "plan_version", "solve",
+               "plan"},
+    "sla": {"job", "to"},
+    "job-done": {"job", "est", "deadline", "completion", "late",
+                 "first_start", "queue_wait_ms", "exec_ms", "lateness_ms"},
+    "snapshot": {"completed", "solves"},
+    "run-end": {"manager", "jobs_total", "n_late", "solves", "makespan_ms"},
+}
+
+SOLVE_REQUIRED = {"stop_reason", "seed_late", "lower_bound", "proved",
+                  "warm_seeded", "nodes", "failures", "restarts", "lns_moves"}
+
+STOP_REASONS = {"proved", "hit_carried_bound", "cache_hit", "fail_limit",
+                "node_limit", "wall_limit", "lns_stall", "interrupted"}
+
+
+def main(path):
+    errors = 0
+
+    def err(lineno, msg):
+        nonlocal errors
+        errors += 1
+        print(f"{path}:{lineno}: {msg}", file=sys.stderr)
+
+    events = runs = 0
+    expect_seq = 0
+    last_t = None
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                # parse twice: once keeping top-level key order (for the
+                # wall-is-last check), once normally for nested values
+                pairs = json.loads(raw, object_pairs_hook=list)
+                ev = json.loads(raw)
+            except json.JSONDecodeError as e:
+                err(lineno, f"not JSON: {e}")
+                continue
+            keys = [k for k, _ in pairs]
+            events += 1
+
+            if ev.get("v") != 1:
+                err(lineno, f"unsupported version {ev.get('v')!r}")
+            if ev.get("seq") != expect_seq:
+                err(lineno, f"seq {ev.get('seq')!r}, expected {expect_seq}")
+                expect_seq = ev.get("seq", expect_seq) if isinstance(
+                    ev.get("seq"), int) else expect_seq
+            expect_seq += 1
+
+            t = ev.get("t")
+            if not isinstance(t, int) or t < 0:
+                err(lineno, f"t must be a non-negative int, got {t!r}")
+            elif last_t is not None and t < last_t:
+                err(lineno, f"t went backwards: {last_t} -> {t}")
+            else:
+                last_t = t
+
+            if "wall" in keys and keys[-1] != "wall":
+                err(lineno, "wall is not the last key (breaks the "
+                            "canonicalization contract)")
+
+            kind = ev.get("ev")
+            if kind not in REQUIRED:
+                err(lineno, f"unknown event kind {kind!r}")
+                continue
+            missing = REQUIRED[kind] - set(keys)
+            if missing:
+                err(lineno, f"{kind}: missing fields {sorted(missing)}")
+
+            if kind == "invoke":
+                solve = ev.get("solve")
+                if isinstance(solve, dict):
+                    missing = SOLVE_REQUIRED - solve.keys()
+                    if missing:
+                        err(lineno, f"solve: missing fields {sorted(missing)}")
+                    if solve.get("stop_reason") not in STOP_REASONS:
+                        err(lineno,
+                            f"unknown stop_reason {solve.get('stop_reason')!r}")
+                wall = ev.get("wall")
+                if not isinstance(wall, dict) or "elapsed_s" not in wall:
+                    err(lineno, "invoke: missing wall.elapsed_s")
+            elif kind == "run-end":
+                runs += 1
+                last_t = None  # virtual time restarts with the next run
+
+    if events == 0:
+        err(0, "empty journal")
+    if events and runs == 0:
+        err(0, "no run-end event (truncated journal)")
+    if errors == 0:
+        print(f"{path}: {events} events, {runs} run(s), journal well-formed")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

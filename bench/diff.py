@@ -98,6 +98,16 @@ def diff_session(base, fresh):
             higher_is_better=False,
             unit="s",
         )
+        # p99 decision latency: present only in baselines regenerated after
+        # the journal landed, so guard the key
+        if "o_p99_s" in base[mode] and "o_p99_s" in fresh[mode]:
+            report(
+                f"session-compare {mode} decision latency p99",
+                base[mode]["o_p99_s"],
+                fresh[mode]["o_p99_s"],
+                higher_is_better=False,
+                unit="s",
+            )
         if fresh[mode]["n_late"] != base[mode]["n_late"]:
             warn(
                 f"session-compare {mode} lateness moved: "

@@ -32,7 +32,9 @@ let all_ids =
   ]
 
 let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
-    metrics no_warm_start no_session kernel restart =
+    metrics no_warm_start no_session kernel restart journal_out metrics_every
+    metrics_out trace_limit =
+  let journal = Option.map (fun _ -> Obs.Journal.create ()) journal_out in
   let base =
     {
       Expkit.Runner.default_config with
@@ -45,9 +47,13 @@ let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
       session = not no_session;
       kernel;
       restart;
+      journal;
+      metrics_every =
+        Option.map (fun s -> int_of_float (1000. *. s)) metrics_every;
     }
   in
-  if trace_out <> None then Obs.Trace.start ();
+  if trace_out <> None then Obs.Trace.start ?limit:trace_limit ();
+  let all_metrics = ref [] in
   List.iter
     (fun id ->
       if id = "ablation-decomp" then begin
@@ -90,18 +96,28 @@ let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
       let fig = figure_of_id config ~lambdas ~id in
       print_string (Expkit.Figures.render fig);
       Printf.printf "(generated in %.1fs)\n\n%!" (Unix.gettimeofday () -. t0);
-      if metrics then begin
-        match
-          List.filter_map
-            (fun p -> p.Expkit.Runner.metrics)
-            fig.Expkit.Figures.points
-        with
-        | [] -> ()
-        | snaps ->
+      (match
+         List.filter_map
+           (fun p -> p.Expkit.Runner.metrics)
+           fig.Expkit.Figures.points
+       with
+      | [] -> ()
+      | snaps ->
+          all_metrics := snaps @ !all_metrics;
+          if metrics then begin
             print_string
               (Report.Obs_report.summary (Obs.Metrics.merge_all snaps));
+            (match Obs.Trace.dropped_by_domain () with
+            | [] -> ()
+            | drops ->
+                List.iter
+                  (fun (tid, dropped) ->
+                    Printf.printf
+                      "trace: domain %d dropped %d events (--trace-limit)\n"
+                      tid dropped)
+                  drops);
             print_newline ()
-      end;
+          end);
       match out with
       | Some dir ->
           (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -118,6 +134,27 @@ let run_ids ids reps jobs fb_jobs seed budget out validate lambdas trace_out
       Printf.printf "trace: %d events written to %s\n"
         (Obs.Trace.events_recorded ())
         path
+  | None -> ());
+  (match (journal_out, journal) with
+  | Some path, Some j ->
+      Obs.Journal.write j ~path;
+      Printf.printf "journal: %d events written to %s\n" (Obs.Journal.events j)
+        path
+  | _ -> ());
+  (match metrics_out with
+  | Some path -> (
+      match !all_metrics with
+      | [] ->
+          Printf.eprintf
+            "warning: --metrics-out needs solver instrumentation; pass \
+             --metrics\n"
+      | snaps ->
+          let oc = open_out path in
+          output_string oc
+            (Obs.Json.to_string (Obs.Metrics.to_json (Obs.Metrics.merge_all snaps)));
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf "metrics: snapshot written to %s\n" path)
   | None -> ());
   0
 
@@ -206,6 +243,30 @@ let restart =
            ~doc:"Restart policy for every CP solve: off (plain DFS, \
                  default), luby[:SCALE], or geom:BASE:GROW.")
 
+let journal_out =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ]
+           ~doc:"Write the structured decision journal (JSONL) covering \
+                 every figure run to this file; audit with mrcp_audit.")
+
+let metrics_every =
+  Arg.(value & opt (some float) None
+       & info [ "metrics-every" ]
+           ~doc:"With --journal: append a metrics snapshot event every T \
+                 seconds of virtual time.")
+
+let metrics_out =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ]
+           ~doc:"Write the final merged metrics snapshot as JSON to this \
+                 file (requires --metrics).")
+
+let trace_limit =
+  Arg.(value & opt (some int) None
+       & info [ "trace-limit" ]
+           ~doc:"With --trace: per-domain ring-buffer capacity in events; \
+                 drop counts are reported in the --metrics summary.")
+
 let cmd =
   let expand ids =
     List.concat_map (fun id -> if id = "all" then all_ids else [ id ]) ids
@@ -213,12 +274,14 @@ let cmd =
   let term =
     Term.(
       const (fun ids reps jobs fb_jobs seed budget out validate lambdas
-                 trace_out metrics no_warm_start no_session kernel restart ->
+                 trace_out metrics no_warm_start no_session kernel restart
+                 journal_out metrics_every metrics_out trace_limit ->
           run_ids (expand ids) reps jobs fb_jobs seed budget out validate
-            lambdas trace_out metrics no_warm_start no_session kernel restart)
+            lambdas trace_out metrics no_warm_start no_session kernel restart
+            journal_out metrics_every metrics_out trace_limit)
       $ ids_arg $ reps $ jobs $ fb_jobs $ seed $ budget $ out $ validate
       $ lambdas $ trace_out $ metrics $ no_warm_start $ no_session $ kernel
-      $ restart)
+      $ restart $ journal_out $ metrics_every $ metrics_out $ trace_limit)
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Regenerate the paper's tables and figures")

@@ -1,0 +1,68 @@
+(* Journal audit CLI.
+
+   Examples:
+     dune exec bin/mrcp_sim.exe -- --jobs 40 --journal run.jsonl
+     dune exec bin/mrcp_audit.exe -- run.jsonl
+     dune exec bin/mrcp_audit.exe -- run.jsonl --job 7
+     dune exec bin/mrcp_audit.exe -- run.jsonl --check *)
+
+open Cmdliner
+
+let run path job check =
+  match Report.Audit.of_file path with
+  | Error e ->
+      Printf.eprintf "error: %s: %s\n" path e;
+      1
+  | Ok r -> (
+      match job with
+      | Some id ->
+          print_string (Report.Audit.render_timeline r id);
+          0
+      | None ->
+          if not check then print_string (Report.Audit.render r);
+          if Report.Audit.checks_ok r then begin
+            if check then
+              Printf.printf "%s: %d events, all %d cross-checks passed\n" path
+                (List.length r.Report.Audit.events)
+                (List.length r.Report.Audit.checks);
+            0
+          end
+          else begin
+            if check then print_string (Report.Audit.render r);
+            Printf.eprintf
+              "error: journal cross-checks FAILED (recomputed totals \
+               disagree with run-end)\n";
+            2
+          end)
+
+let term =
+  Term.(
+    const run
+    $ Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"JOURNAL"
+            ~doc:"Journal file written by --journal (JSONL).")
+    $ Arg.(
+        value
+        & opt (some int) None
+        & info [ "job" ]
+            ~doc:"Print the full event timeline of one job instead of the \
+                  report.")
+    $ Arg.(
+        value & flag
+        & info [ "check" ]
+            ~doc:"Quiet oracle mode: verify the cross-checks only, print \
+                  the report only on failure.  Exit 2 when a recomputed \
+                  total disagrees with the journal's run-end line."))
+
+let cmd =
+  Cmd.v
+    (Cmd.info "mrcp_audit"
+       ~doc:
+         "Explain a simulation run from its decision journal: per-job \
+          timelines, lateness attribution, decision-latency quantiles, and \
+          independent recomputation of the run totals")
+    term
+
+let () = exit (Cmd.eval' cmd)

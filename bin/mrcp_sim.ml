@@ -18,11 +18,37 @@ let print_metrics = function
       print_endline
         "no metrics collected (manager without solver instrumentation)"
 
+let print_trace_drops () =
+  match Obs.Trace.dropped_by_domain () with
+  | [] -> ()
+  | drops ->
+      List.iter
+        (fun (tid, dropped) ->
+          Printf.printf "trace: domain %d dropped %d events (--trace-limit)\n"
+            tid dropped)
+        drops
+
+let write_metrics_out path = function
+  | Some snap ->
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string (Obs.Metrics.to_json snap));
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "metrics: snapshot written to %s\n" path
+  | None ->
+      Printf.eprintf
+        "warning: --metrics-out needs solver instrumentation; pass --metrics\n"
+
 let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
     seed budget ordering domains deferral validate verbose replay trace_out
-    metrics no_warm_start no_session kernel restart =
+    metrics no_warm_start no_session kernel restart journal_out metrics_every
+    metrics_out trace_limit =
   let warm_start = not no_warm_start in
   let session = not no_session in
+  let journal = Option.map (fun _ -> Obs.Journal.create ()) journal_out in
+  let metrics_every =
+    Option.map (fun s -> int_of_float (1000. *. s)) metrics_every
+  in
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -46,9 +72,11 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
       session;
       kernel;
       restart;
+      journal;
+      metrics_every;
     }
   in
-  if trace_out <> None then Obs.Trace.start ();
+  if trace_out <> None then Obs.Trace.start ?limit:trace_limit ();
   let finish code =
     (match trace_out with
     | Some path ->
@@ -58,6 +86,12 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
           (Obs.Trace.events_recorded ())
           path
     | None -> ());
+    (match (journal_out, journal) with
+    | Some path, Some j ->
+        Obs.Journal.write j ~path;
+        Printf.printf "journal: %d events written to %s\n"
+          (Obs.Journal.events j) path
+    | _ -> ());
     code
   in
   finish
@@ -86,7 +120,7 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
                   (Mrcp.Manager.create ~cluster
                      { Mrcp.Manager.solver; domains;
                        deferral_window = deferral; validate; warm_start;
-                       session })
+                       session; journal })
             | Expkit.Runner.Min_edf_wc | Expkit.Runner.Edf_wc
             | Expkit.Runner.Fcfs_wc ->
                 let policy =
@@ -100,7 +134,8 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
                   (Baselines.Slot_scheduler.create ~cluster ~policy)
           in
           let r =
-            Opensim.Simulator.run ~validate ~cluster ~driver ~jobs:trace_jobs ()
+            Opensim.Simulator.run ~validate ?journal ?metrics_every ~cluster
+              ~driver ~jobs:trace_jobs ()
           in
           Format.printf "%a@." Opensim.Simulator.pp_results r;
           (match (r.Opensim.Simulator.map_utilization,
@@ -109,7 +144,13 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
               Format.printf "utilization: map %.1f%%, reduce %.1f%%@."
                 (100. *. mu) (100. *. ru)
           | _ -> ());
-          if metrics then print_metrics r.Opensim.Simulator.metrics;
+          if metrics then begin
+            print_metrics r.Opensim.Simulator.metrics;
+            print_trace_drops ()
+          end;
+          Option.iter
+            (fun path -> write_metrics_out path r.Opensim.Simulator.metrics)
+            metrics_out;
           0
     end
   | None ->
@@ -138,7 +179,13 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
     (Report.Table.render ~headers:Expkit.Runner.point_headers
        ~rows:[ Expkit.Runner.point_row point ]
        ());
-  if metrics then print_metrics point.Expkit.Runner.metrics;
+  if metrics then begin
+    print_metrics point.Expkit.Runner.metrics;
+    print_trace_drops ()
+  end;
+  Option.iter
+    (fun path -> write_metrics_out path point.Expkit.Runner.metrics)
+    metrics_out;
   0
 
 let workload_conv =
@@ -239,7 +286,27 @@ let term =
                      default), luby[:SCALE] (Luby sequence of fail budgets, \
                      scale 128 if omitted), or geom:BASE:GROW (geometric).  \
                      Restarted searches record nogoods from each abandoned \
-                     slice and branch with last-conflict reasoning."))
+                     slice and branch with last-conflict reasoning.")
+    $ Arg.(value & opt (some string) None
+           & info [ "journal" ]
+               ~doc:"Write the structured decision journal (JSONL, one event \
+                     per admission decision, scheduling pass, SLA transition \
+                     and job completion) to this file.  Feed it to \
+                     mrcp_audit for per-job timelines and lateness \
+                     attribution.")
+    $ Arg.(value & opt (some float) None
+           & info [ "metrics-every" ]
+               ~doc:"With --journal: append a metrics snapshot event to the \
+                     journal every T seconds of virtual time.")
+    $ Arg.(value & opt (some string) None
+           & info [ "metrics-out" ]
+               ~doc:"Write the final metrics snapshot as JSON to this file \
+                     (requires --metrics for solver instrumentation).")
+    $ Arg.(value & opt (some int) None
+           & info [ "trace-limit" ]
+               ~doc:"With --trace: per-domain ring-buffer capacity in \
+                     events; older events beyond it are dropped (drop counts \
+                     are reported in the --metrics summary)."))
 
 let cmd =
   Cmd.v

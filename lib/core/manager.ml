@@ -14,6 +14,7 @@ type config = {
   validate : bool;
   warm_start : bool;
   session : bool;
+  journal : Obs.Journal.t option;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     validate = false;
     warm_start = true;
     session = true;
+    journal = None;
   }
 
 type task_state = {
@@ -67,6 +69,11 @@ type t = {
   mutable solver_metrics : Obs.Metrics.snapshot;
   (* Σ N_j of the last installed plan, for the trace's late-job delta *)
   mutable last_late : int;
+  (* journal-only bookkeeping (both empty when [config.journal = None]):
+     per-job accumulated solver overhead, and the last journaled predicted
+     SLA state (true = at risk) per active job *)
+  job_overhead : (int, float) Hashtbl.t;
+  sla_state : (int, bool) Hashtbl.t;
 }
 
 let create ~cluster config =
@@ -94,6 +101,8 @@ let create ~cluster config =
        else None);
     solver_metrics = Obs.Metrics.empty;
     last_late = 0;
+    job_overhead = Hashtbl.create 64;
+    sla_state = Hashtbl.create 64;
   }
 
 let due ~now t (job : T.job) =
@@ -101,8 +110,29 @@ let due ~now t (job : T.job) =
   | None -> true
   | Some window -> job.T.earliest_start <= now + window
 
+(* One "submit" journal line per admission decision (§V.E): admitted jobs
+   enter the work queue now, deferred jobs park until s_j approaches. *)
+let journal_submit t ~now (job : T.job) ~admitted =
+  match t.config.journal with
+  | None -> ()
+  | Some j ->
+      Obs.Journal.event j ~t_ms:now "submit"
+        [
+          ("job", Obs.Json.Int job.T.id);
+          ("action", Obs.Json.String (if admitted then "admit" else "defer"));
+          ( "reason",
+            Obs.Json.String
+              (if admitted then "within_deferral_window"
+               else "starts_beyond_deferral_window") );
+          ("est", Obs.Json.Int job.T.earliest_start);
+          ("deadline", Obs.Json.Int job.T.deadline);
+          ("arrival", Obs.Json.Int job.T.arrival);
+        ]
+
 let submit t ~now job =
-  if due ~now t job then Queue.push job t.queue
+  let admitted = due ~now t job in
+  journal_submit t ~now job ~admitted;
+  if admitted then Queue.push job t.queue
   else
     t.deferred <-
       List.merge
@@ -118,7 +148,21 @@ let next_wake t =
 let release_due t ~now =
   let due_jobs, still = List.partition (due ~now t) t.deferred in
   t.deferred <- still;
-  List.iter (fun j -> Queue.push j t.queue) due_jobs
+  List.iter
+    (fun (j : T.job) ->
+      (match t.config.journal with
+      | None -> ()
+      | Some jr ->
+          Obs.Journal.event jr ~t_ms:now "submit"
+            [
+              ("job", Obs.Json.Int j.T.id);
+              ("action", Obs.Json.String "release");
+              ("reason", Obs.Json.String "deferred_start_now_due");
+              ("est", Obs.Json.Int j.T.earliest_start);
+              ("deadline", Obs.Json.Int j.T.deadline);
+            ]);
+      Queue.push j t.queue)
+    due_jobs
 
 (* Table 2 lines 5–18: classify a job's tasks by the clock.  Returns the
    pending-job view for the CP instance, or None when the job has fully
@@ -281,6 +325,18 @@ let invoke t ~now =
         Cp.Solver.seed = t.config.solver.Cp.Solver.seed + t.solves;
         warm_start = warm }
     in
+    (* session counters before the solve, so the journal can report this
+       invocation's store-diff work as deltas *)
+    let sess_before =
+      match (t.config.journal, t.session) with
+      | Some _, Some s ->
+          ( Cp.Session.stats_appended_jobs s,
+            Cp.Session.stats_retracted s,
+            Cp.Session.stats_rebuilds s,
+            Cp.Session.stats_reused_nogoods s,
+            Cp.Session.stats_cert_proofs s )
+      | _ -> (0, 0, 0, 0, 0)
+    in
     let solution, stats =
       if t.config.domains > 1 then begin
         let sol, ps =
@@ -376,6 +432,7 @@ let invoke t ~now =
             | None -> ())
           (task_states js))
       t.active;
+    let prev_plan = t.current_plan in
     t.current_plan <- List.sort Dispatch.compare_by_start dispatches;
     t.plan_version <- t.plan_version + 1;
     let elapsed = Unix.gettimeofday () -. t0 in
@@ -405,8 +462,150 @@ let invoke t ~now =
               ("late_jobs", Obs.Trace.Int late);
               ("late_delta", Obs.Trace.Int (late - t.last_late));
               ("cache_hit", Obs.Trace.Int (if cache_hit then 1 else 0));
+            ];
+        Obs.Trace.instant ~cat:"solver" "stop-reason"
+          ~args:
+            [
+              ( "reason",
+                Obs.Trace.Str
+                  (Obs.Solve_stats.stop_reason_to_string
+                     stats.Cp.Solver.stop_reason) );
             ]
     | None -> ());
+    (match t.config.journal with
+    | None -> ()
+    | Some j ->
+        (* every job active in this invocation shares its wall-clock cost:
+           O is a per-run scalar in the paper, but lateness attribution
+           needs the per-job share (§V.E of the audit design) *)
+        List.iter
+          (fun js ->
+            let id = js.job.T.id in
+            let cur =
+              Option.value (Hashtbl.find_opt t.job_overhead id) ~default:0.
+            in
+            Hashtbl.replace t.job_overhead id (cur +. elapsed))
+          t.active;
+        let sa, sr, sb, sn, sc = sess_before in
+        let session_fields =
+          match t.session with
+          | None -> []
+          | Some s ->
+              [
+                ( "session",
+                  Obs.Json.Obj
+                    [
+                      ( "appended_jobs",
+                        Obs.Json.Int (Cp.Session.stats_appended_jobs s - sa) );
+                      ( "retracted",
+                        Obs.Json.Int (Cp.Session.stats_retracted s - sr) );
+                      ( "rebuilds",
+                        Obs.Json.Int (Cp.Session.stats_rebuilds s - sb) );
+                      ( "reused_nogoods",
+                        Obs.Json.Int (Cp.Session.stats_reused_nogoods s - sn) );
+                      ( "cert_proofs",
+                        Obs.Json.Int (Cp.Session.stats_cert_proofs s - sc) );
+                    ] );
+              ]
+        in
+        (* plan diff against the previously installed plan, by task id *)
+        let old_by_task = Hashtbl.create 64 in
+        List.iter
+          (fun (d : Dispatch.t) ->
+            Hashtbl.replace old_by_task d.Dispatch.task.T.task_id d)
+          prev_plan;
+        let kept = ref 0 and moved = ref 0 and added = ref 0 in
+        List.iter
+          (fun (d : Dispatch.t) ->
+            match Hashtbl.find_opt old_by_task d.Dispatch.task.T.task_id with
+            | Some od ->
+                Hashtbl.remove old_by_task d.Dispatch.task.T.task_id;
+                if od = d then incr kept else incr moved
+            | None -> incr added)
+          t.current_plan;
+        let removed = Hashtbl.length old_by_task in
+        Obs.Journal.event j ~t_ms:now "invoke"
+          ~wall:[ ("elapsed_s", Obs.Json.Float elapsed) ]
+          ([
+             ("invocation", Obs.Json.Int (t.solves - 1));
+             ( "arrived",
+               Obs.Json.List (List.rev_map (fun i -> Obs.Json.Int i) !arrived)
+             );
+             ("active_jobs", Obs.Json.Int (List.length t.active));
+             ( "pending_tasks",
+               Obs.Json.Int (Sched.Instance.pending_task_count inst) );
+             ("late", Obs.Json.Int late);
+             ("late_delta", Obs.Json.Int (late - t.last_late));
+             ("cache_hit", Obs.Json.Bool cache_hit);
+             ("plan_version", Obs.Json.Int t.plan_version);
+             ( "solve",
+               Obs.Json.Obj
+                 [
+                   ( "stop_reason",
+                     Obs.Json.String
+                       (Obs.Solve_stats.stop_reason_to_string
+                          stats.Cp.Solver.stop_reason) );
+                   ("seed_late", Obs.Json.Int stats.Cp.Solver.seed_late);
+                   ("lower_bound", Obs.Json.Int stats.Cp.Solver.lower_bound);
+                   ("proved", Obs.Json.Bool stats.Cp.Solver.proved_optimal);
+                   ("warm_seeded", Obs.Json.Bool stats.Cp.Solver.warm_seeded);
+                   ("nodes", Obs.Json.Int stats.Cp.Solver.nodes);
+                   ("failures", Obs.Json.Int stats.Cp.Solver.failures);
+                   ("restarts", Obs.Json.Int stats.Cp.Solver.restarts);
+                   ("lns_moves", Obs.Json.Int stats.Cp.Solver.lns_moves);
+                 ] );
+             ( "plan",
+               Obs.Json.Obj
+                 [
+                   ("kept", Obs.Json.Int !kept);
+                   ("moved", Obs.Json.Int !moved);
+                   ("added", Obs.Json.Int !added);
+                   ("removed", Obs.Json.Int removed);
+                 ] );
+           ]
+          @ session_fields);
+        (* predicted SLA state per active job: at risk when the installed
+           plan already finishes it past d_j.  One "sla" line per transition
+           (and for the initial state only when it is already at_risk). *)
+        List.iter
+          (fun js ->
+            let predicted =
+              List.fold_left
+                (fun acc ts ->
+                  match (acc, ts.dispatch) with
+                  | None, _ | _, None -> None
+                  | Some m, Some d -> Some (max m (Dispatch.finish d)))
+                (Some 0) (task_states js)
+            in
+            match predicted with
+            | None -> () (* not fully planned; keep the previous state *)
+            | Some completion ->
+                let at_risk = completion > js.job.T.deadline in
+                let prev = Hashtbl.find_opt t.sla_state js.job.T.id in
+                let state b = if b then "at_risk" else "on_time" in
+                (match prev with
+                | Some p when p = at_risk -> ()
+                | Some p ->
+                    Obs.Journal.event j ~t_ms:now "sla"
+                      [
+                        ("job", Obs.Json.Int js.job.T.id);
+                        ("from", Obs.Json.String (state p));
+                        ("to", Obs.Json.String (state at_risk));
+                        ("predicted_completion", Obs.Json.Int completion);
+                        ("deadline", Obs.Json.Int js.job.T.deadline);
+                      ]
+                | None ->
+                    if at_risk then
+                      Obs.Journal.event j ~t_ms:now "sla"
+                        [
+                          ("job", Obs.Json.Int js.job.T.id);
+                          ("from", Obs.Json.String "on_time");
+                          ("to", Obs.Json.String "at_risk");
+                          ("predicted_completion", Obs.Json.Int completion);
+                          ("deadline", Obs.Json.Int js.job.T.deadline);
+                        ]);
+                Hashtbl.replace t.sla_state js.job.T.id at_risk)
+          t.active);
     t.last_late <- late;
     Log.debug (fun m ->
         m
@@ -421,6 +620,9 @@ let plan_version t = t.plan_version
 let active_jobs t = List.length t.active
 let overhead_seconds t = t.overhead
 let max_invocation_seconds t = t.max_invocation
+
+let job_overhead_seconds t id =
+  match Hashtbl.find_opt t.job_overhead id with Some v -> v | None -> 0.
 let solve_count t = t.solves
 let cache_hit_count t = t.cache_hits
 let jobs_scheduled t = t.scheduled_jobs

@@ -57,11 +57,20 @@ type config = {
           portfolio's workers each build their own store.  Default [true];
           disable ([--no-session] in the CLIs) to reproduce the historical
           cold per-invocation {!Cp.Solver.solve} bit-for-bit. *)
+  journal : Obs.Journal.t option;
+      (** [Some j]: append one structured {!Obs.Journal} event per admission
+          decision ("submit": admit/defer/release with reason), per
+          scheduling pass ("invoke": arrivals, plan diff, session deltas, the
+          solve's {!Obs.Solve_stats.stop_reason}, with wall-clock latency
+          isolated under the ["wall"] key), and per predicted SLA-state
+          transition ("sla": on_time ⇄ at_risk against the installed plan).
+          [None] (default) is strictly zero-cost: no events are built, and
+          the solver trajectory is bit-identical to a journal-free run. *)
 }
 
 val default_config : config
 (** EDF ordering, 1 domain (sequential), deferral window 300 s, validation
-    off, warm start on, persistent session on. *)
+    off, warm start on, persistent session on, journaling off. *)
 
 type t
 
@@ -99,6 +108,12 @@ val overhead_seconds : t -> float
 val max_invocation_seconds : t -> float
 (** Longest single matchmaking-and-scheduling pass so far (the paper quotes
     these maxima, e.g. "O was observed to be 0.57s" at small m). *)
+
+val job_overhead_seconds : t -> int -> float
+(** Wall-clock solver + matchmaking time attributed to a job: the sum of
+    [elapsed] over every invocation in which the job was active.  Tracked
+    only when [config.journal] is set (0. otherwise) — it feeds the
+    journal's per-job lateness attribution, not the paper's O metric. *)
 
 val solve_count : t -> int
 (** Scheduling passes run (including plan-cache hits, which replace a solve

@@ -118,6 +118,9 @@ let solve ?(domains = 1) ?(options = Solver.default_options)
           lower_bound = lb;
           proved_optimal = true;
           warm_seeded;
+          stop_reason =
+            (if warm_seeded then Obs.Solve_stats.Cache_hit
+             else Obs.Solve_stats.Proved);
           nodes = 0;
           failures = 0;
           restarts = 0;
@@ -227,12 +230,27 @@ let solve ?(domains = 1) ?(options = Solver.default_options)
             | [] -> None
             | snaps -> Some (Obs.Metrics.merge_all snaps)
           in
+          (* the prover's reason when someone proved (the losers report
+             [Interrupted] from the cancellation); the sequential replica's
+             otherwise *)
+          let stop_reason =
+            match
+              List.find_opt (fun (_, _, s) -> s.Solver.proved_optimal) results
+            with
+            | Some (_, _, s) -> s.Solver.stop_reason
+            | None when proved -> Obs.Solve_stats.Proved
+            | None -> (
+                match results with
+                | (_, _, s0) :: _ -> s0.Solver.stop_reason
+                | [] -> Obs.Solve_stats.Proved)
+          in
           let base =
             {
               Solver.seed_late;
               lower_bound = lb;
               proved_optimal = proved;
               warm_seeded;
+              stop_reason;
               nodes = sum (fun s -> s.Solver.nodes);
               failures = sum (fun s -> s.Solver.failures);
               restarts = sum (fun s -> s.Solver.restarts);

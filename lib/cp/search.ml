@@ -37,9 +37,19 @@ type 'a problem = {
   extract : unit -> 'a * int;
 }
 
+type stop_cause = Exhausted | Node_budget | Fail_budget | Wall_clock | Interrupt
+
+let stop_reason_of_cause = function
+  | Exhausted -> Obs.Solve_stats.Proved
+  | Node_budget -> Obs.Solve_stats.Node_limit
+  | Fail_budget -> Obs.Solve_stats.Fail_limit
+  | Wall_clock -> Obs.Solve_stats.Wall_limit
+  | Interrupt -> Obs.Solve_stats.Interrupted
+
 type 'a generic_outcome = {
   best : 'a option;
   proved_optimal : bool;
+  stopped : stop_cause;
   nodes : int;
   failures : int;
   restarts : int;
@@ -84,6 +94,7 @@ type 'a state = {
   mutable restarts : int;
   mutable slice_fail_stop : int;  (* failure count ending the slice *)
   mutable slice_hit : bool;  (* Limit_reached meant "restart", not "stop" *)
+  mutable stop_cause : stop_cause;  (* which hard limit cut the search *)
   mutable last_conflict_late : int;  (* lates index, -1 = none *)
   mutable last_conflict_start : int;  (* starts index, -1 = none *)
   mutable late_cursor : int;  (* out-param of [select_late] *)
@@ -120,10 +131,12 @@ let dpush st ~vref ~ge ~positive const =
 let check_limits st =
   if st.limits.node_limit > 0 && st.nodes >= st.limits.node_limit then begin
     st.slice_hit <- false;
+    st.stop_cause <- Node_budget;
     raise Limit_reached
   end;
   if st.limits.fail_limit > 0 && st.failures >= st.limits.fail_limit then begin
     st.slice_hit <- false;
+    st.stop_cause <- Fail_budget;
     raise Limit_reached
   end;
   if st.failures >= st.slice_fail_stop then begin
@@ -136,6 +149,7 @@ let check_limits st =
     (match st.limits.interrupt with
     | Some stop when stop () ->
         st.slice_hit <- false;
+        st.stop_cause <- Interrupt;
         raise Limit_reached
     | _ -> ());
     (* Adopt an incumbent bound found by a sibling portfolio worker.  The
@@ -149,6 +163,7 @@ let check_limits st =
     match st.limits.wall_deadline with
     | Some deadline when Obs.Clock.now () > deadline ->
         st.slice_hit <- false;
+        st.stop_cause <- Wall_clock;
         raise Limit_reached
     | _ -> ()
   end
@@ -471,6 +486,7 @@ let run_problem ?(tie_break = Slack_first) ?(restart = Restart.Off) ?nogoods
       restarts = 0;
       slice_fail_stop = max_int;
       slice_hit = false;
+      stop_cause = Exhausted;
       last_conflict_late = -1;
       last_conflict_start = -1;
       late_cursor = 0;
@@ -549,6 +565,7 @@ let run_problem ?(tie_break = Slack_first) ?(restart = Restart.Off) ?nogoods
   {
     best = st.best;
     proved_optimal;
+    stopped = (if proved_optimal then Exhausted else st.stop_cause);
     nodes = st.nodes;
     failures = st.failures;
     restarts = st.restarts;
@@ -559,6 +576,7 @@ let run_problem ?(tie_break = Slack_first) ?(restart = Restart.Off) ?nogoods
 type outcome = {
   best : Sched.Solution.t option;
   proved_optimal : bool;
+  stopped : stop_cause;
   nodes : int;
   failures : int;
   restarts : int;
@@ -596,6 +614,7 @@ let run ?tie_break ?restart ?nogoods ?guide model limits =
   {
     best = o.best;
     proved_optimal = o.proved_optimal;
+    stopped = o.stopped;
     nodes = o.nodes;
     failures = o.failures;
     restarts = o.restarts;

@@ -73,9 +73,24 @@ type 'a problem = {
           strictly-bound-improving payloads are kept *)
 }
 
+(** Which condition ended the search.  [Exhausted] means the tree was
+    explored to completion (or cut to emptiness by the bound) — the proof
+    case; the others name the hard limit whose [Limit_reached] unwound the
+    final slice.  Restart-slice cuts are {e not} stops and never surface
+    here. *)
+type stop_cause = Exhausted | Node_budget | Fail_budget | Wall_clock | Interrupt
+
+val stop_reason_of_cause : stop_cause -> Obs.Solve_stats.stop_reason
+(** The telemetry-level reason for a search-level cause ([Exhausted] maps
+    to [Proved]; callers with richer context — cache hits, carried
+    certificates, LNS stalls — substitute their own). *)
+
 type 'a generic_outcome = {
   best : 'a option;
   proved_optimal : bool;
+  stopped : stop_cause;
+      (** [Exhausted] iff [proved_optimal]; otherwise the limit that cut
+          the search *)
   nodes : int;
   failures : int;
   restarts : int;  (** slices cut by the restart policy *)
@@ -119,6 +134,7 @@ val run_problem :
 type outcome = {
   best : Sched.Solution.t option;
   proved_optimal : bool;
+  stopped : stop_cause;
   nodes : int;
   failures : int;
   restarts : int;

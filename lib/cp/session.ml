@@ -495,7 +495,7 @@ let solve t ~options (inst : Instance.t) =
         Some (Obs.Metrics.snapshot r)
   in
   let finish ?(core = None) ?(nodes = 0) ?(failures = 0) ?(restarts = 0)
-      ~proved incumbent =
+      ~proved ~stop incumbent =
     remember incumbent;
     update_cert t ~proved inst incumbent;
     ( incumbent,
@@ -504,6 +504,7 @@ let solve t ~options (inst : Instance.t) =
         lower_bound = lb;
         proved_optimal = proved;
         warm_seeded;
+        stop_reason = stop;
         nodes;
         failures;
         restarts;
@@ -520,9 +521,14 @@ let solve t ~options (inst : Instance.t) =
      the next one's diff). *)
   if seed.Solution.late_jobs <= lb then begin
     (* proofs the classic bound alone could not have delivered *)
-    if seed.Solution.late_jobs > lb_classic then
-      t.cert_proofs <- t.cert_proofs + 1;
-    finish ~proved:true seed
+    let via_cert = seed.Solution.late_jobs > lb_classic in
+    if via_cert then t.cert_proofs <- t.cert_proofs + 1;
+    finish ~proved:true
+      ~stop:
+        (if via_cert then Obs.Solve_stats.Hit_carried_bound
+         else if warm_seeded then Obs.Solve_stats.Cache_hit
+         else Obs.Solve_stats.Proved)
+      seed
   end
   else if
     Instance.pending_task_count inst > options.Solver.exact_task_limit
@@ -632,6 +638,7 @@ let solve t ~options (inst : Instance.t) =
             ({
                Search.best = None;
                proved_optimal = true;
+               stopped = Search.Exhausted;
                nodes = 0;
                failures = 1;
                restarts = 0;
@@ -677,12 +684,18 @@ let solve t ~options (inst : Instance.t) =
     let proved =
       outcome.Search.proved_optimal || incumbent.Solution.late_jobs <= lb
     in
-    if
+    let via_cert =
       proved
       && (not outcome.Search.proved_optimal)
       && incumbent.Solution.late_jobs > lb_classic
-    then t.cert_proofs <- t.cert_proofs + 1;
+    in
+    if via_cert then t.cert_proofs <- t.cert_proofs + 1;
+    let stop =
+      if via_cert then Obs.Solve_stats.Hit_carried_bound
+      else if proved then Obs.Solve_stats.Proved
+      else Search.stop_reason_of_cause outcome.Search.stopped
+    in
     finish ~core:(Some core) ~nodes:outcome.Search.nodes
       ~failures:outcome.Search.failures ~restarts:outcome.Search.restarts
-      ~proved incumbent
+      ~proved ~stop incumbent
   end

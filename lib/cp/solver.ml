@@ -64,6 +64,7 @@ type stats = Obs.Solve_stats.t = {
   lower_bound : int;
   proved_optimal : bool;
   warm_seeded : bool;
+  stop_reason : Obs.Solve_stats.stop_reason;
   nodes : int;
   failures : int;
   restarts : int;
@@ -428,6 +429,7 @@ let run_exact ?tie_break ?registry ?kernel ?(restart = Restart.Off) ?nogoods
       {
         Search.best = None;
         proved_optimal = true;
+        stopped = Search.Exhausted;
         nodes = 0;
         failures = 1;
         restarts = 0;
@@ -460,7 +462,7 @@ let solve_linked ~options ~link (inst : Instance.t) =
   let db =
     if options.restart = Restart.Off then None else Some (Nogood.create ())
   in
-  let finish incumbent proved =
+  let finish ~stop incumbent proved =
     (match (registry, db) with
     | Some r, Some d ->
         Obs.Metrics.add
@@ -479,6 +481,7 @@ let solve_linked ~options ~link (inst : Instance.t) =
         lower_bound = lb;
         proved_optimal = proved;
         warm_seeded;
+        stop_reason = stop;
         nodes = !nodes;
         failures = !failures;
         restarts = !restarts;
@@ -487,7 +490,11 @@ let solve_linked ~options ~link (inst : Instance.t) =
         metrics = Option.map Obs.Metrics.snapshot registry;
       } )
   in
-  if seed_sol.Solution.late_jobs <= lb then finish seed_sol true
+  if seed_sol.Solution.late_jobs <= lb then
+    finish seed_sol true
+      ~stop:
+        (if warm_seeded then Obs.Solve_stats.Cache_hit
+         else Obs.Solve_stats.Proved)
   else begin
     let task_count = Instance.pending_task_count inst in
     if task_count <= options.exact_task_limit then begin
@@ -523,8 +530,13 @@ let solve_linked ~options ~link (inst : Instance.t) =
         | Some better -> better
         | None -> seed_sol
       in
-      finish incumbent
-        (outcome.Search.proved_optimal || incumbent.Solution.late_jobs <= lb)
+      let proved =
+        outcome.Search.proved_optimal || incumbent.Solution.late_jobs <= lb
+      in
+      finish incumbent proved
+        ~stop:
+          (if proved then Obs.Solve_stats.Proved
+           else Search.stop_reason_of_cause outcome.Search.stopped)
     end
     else begin
       (* LNS over job neighbourhoods *)
@@ -626,7 +638,15 @@ let solve_linked ~options ~link (inst : Instance.t) =
             else incr stall
         | None -> incr stall
       done;
-      finish !incumbent (!incumbent.Solution.late_jobs <= lb)
+      (* mirror [continue]'s evaluation order for the attributed cause *)
+      let stop =
+        if !incumbent.Solution.late_jobs <= lb then Obs.Solve_stats.Proved
+        else if !stall >= options.lns_max_stall then Obs.Solve_stats.Lns_stall
+        else if not (Obs.Clock.now () < deadline) then
+          Obs.Solve_stats.Wall_limit
+        else Obs.Solve_stats.Interrupted
+      in
+      finish !incumbent (!incumbent.Solution.late_jobs <= lb) ~stop
     end
   end
 

@@ -83,6 +83,10 @@ type stats = Obs.Solve_stats.t = {
       (** the starting incumbent was the carried-over {!warm_candidate};
           combined with [seed_late <= lower_bound] this identifies a plan
           cache hit (no model was built, no search ran) *)
+  stop_reason : Obs.Solve_stats.stop_reason;
+      (** why the solve returned: [Cache_hit] on the warm-seeded fast path,
+          [Proved] when search or the bound settled it, otherwise the limit
+          (or LNS stall / portfolio interrupt) that cut it *)
   nodes : int;
   failures : int;
   restarts : int;  (** restart slice cuts, summed over all searches run *)

@@ -25,6 +25,10 @@ type config = {
   session : bool;
   kernel : Cp.Propagators.kernel;
   restart : Cp.Restart.policy;
+  journal : Obs.Journal.t option;
+      (* one journal shared across reps: events of rep i+1 append after rep
+         i's (seq keeps growing); use reps = 1 for per-run audit files *)
+  metrics_every : int option; (* virtual ms between journal snapshots *)
 }
 
 let default_config =
@@ -43,6 +47,8 @@ let default_config =
     session = true;
     kernel = Cp.Propagators.Both;
     restart = Cp.Restart.Off;
+    journal = None;
+    metrics_every = None;
   }
 
 type point = {
@@ -87,6 +93,7 @@ let make_driver config cluster ~seed =
           validate = config.validate;
           warm_start = config.warm_start;
           session = config.session;
+          journal = config.journal;
         }
       in
       Opensim.Driver.of_mrcp (Mrcp.Manager.create ~cluster mconfig)
@@ -144,7 +151,8 @@ let replicate ~label ~config ~make_jobs ~cluster =
         let seed = config.base_seed + (7919 * i) in
         let jobs = make_jobs ~seed in
         let driver = make_driver config cluster ~seed in
-        Sim.run ~validate:config.validate ~driver ~jobs ())
+        Sim.run ~validate:config.validate ?journal:config.journal
+          ?metrics_every:config.metrics_every ~driver ~jobs ())
   in
   summarize ~label ~config ~elapsed:(Obs.Clock.now () -. t0) results
 

@@ -43,6 +43,14 @@ type config = {
   restart : Cp.Restart.policy;
       (** restart policy for every CP solve ([--restarts] in the CLIs;
           default {!Cp.Restart.Off} — opt in with e.g. [--restarts luby]) *)
+  journal : Obs.Journal.t option;
+      (** decision journal shared by the manager and the simulator
+          ([--journal] in the CLIs).  One journal spans every replication:
+          rep i+1's events append after rep i's.  Use [reps = 1] for
+          per-run audit files. *)
+  metrics_every : int option;
+      (** with [journal]: virtual ms between metrics-snapshot journal
+          events ([--metrics-every], which takes seconds, in the CLIs) *)
 }
 
 val default_config : config

@@ -1,6 +1,7 @@
-(** Minimal JSON emission for the observability layer (trace files and
-    metrics snapshots).  Emission only — parsing lives in whatever consumes
-    the files (chrome://tracing, Perfetto, jq, CI scripts). *)
+(** Minimal JSON for the observability layer: compact emission (trace
+    files, metrics snapshots, the decision journal) plus a small
+    recursive-descent parser so in-repo consumers — the journal audit
+    tool, tests — can read those files back without external deps. *)
 
 type t =
   | Null
@@ -15,6 +16,26 @@ val escape : string -> string
 (** Backslash-escape quotes, backslashes and control characters. *)
 
 val to_string : t -> string
-(** Compact (single-line) rendering. *)
+(** Compact (single-line) rendering.  Finite floats round-trip exactly:
+    the shortest of [%.12g]/[%.17g] that parses back to the same float. *)
 
 val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document.  Numbers without [.], [e] or overflow become
+    [Int]; everything else numeric becomes [Float].  [\u] escapes decode
+    as UTF-8 code points (no surrogate-pair handling — the emitter above
+    only escapes control characters). *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the first binding of [k]; [None] on
+    non-objects. *)
+
+val to_int_opt : t -> int option
+(** [Int], or an integral [Float]. *)
+
+val to_float_opt : t -> float option
+(** [Float], or any [Int] widened. *)
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option

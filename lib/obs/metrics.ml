@@ -157,6 +157,94 @@ let merge_all = List.fold_left merge empty
 let find_counter s name = List.assoc_opt name s.counters
 let find_histo s name = List.assoc_opt name s.histos
 
+let quantile (h : histo_data) q =
+  if h.count = 0 then Float.nan
+  else begin
+    let q = if q < 0. then 0. else if q > 1. then 1. else q in
+    (* target rank in 1..count *)
+    let r = int_of_float (Float.ceil (q *. float_of_int h.count)) in
+    let r = if r < 1 then 1 else if r > h.count then h.count else r in
+    let rec go c0 = function
+      | [] -> h.vmax (* unreachable when bucket occupancies sum to count *)
+      | (i, n) :: rest ->
+          if c0 + n < r then go (c0 + n) rest
+          else begin
+            (* Bucket range clamped to the observed envelope: rank 1 is
+               exactly vmin and rank count exactly vmax, so values sitting
+               on bucket boundaries come back exact rather than smeared
+               across the bucket. *)
+            let lo_raw =
+              if i = 0 then Float.min h.vmin 0. else bucket_lower_bound i
+            in
+            let hi_raw =
+              if i = 0 then 0.
+              else if i = n_buckets - 1 then h.vmax
+              else bucket_lower_bound (i + 1)
+            in
+            let lo = Float.max lo_raw h.vmin in
+            let hi = Float.min hi_raw h.vmax in
+            let hi = if hi < lo then lo else hi in
+            if r = h.count then hi
+            else if n <= 1 then lo
+            else
+              let pos = float_of_int (r - c0 - 1) /. float_of_int (n - 1) in
+              lo +. (pos *. (hi -. lo))
+          end
+    in
+    go 0 h.buckets
+  end
+
+let prom_sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let prom_float v =
+  if v = infinity then "+Inf"
+  else if v = neg_infinity then "-Inf"
+  else if Float.is_nan v then "NaN"
+  else Json.to_string (Json.Float v)
+
+let to_prometheus ?(namespace = "mrcp") s =
+  let b = Buffer.create 4096 in
+  let line name v = Printf.bprintf b "%s %s\n" name v in
+  let full k = namespace ^ "_" ^ prom_sanitize k in
+  List.iter
+    (fun (k, v) ->
+      let n = full k ^ "_total" in
+      Printf.bprintf b "# TYPE %s counter\n" n;
+      line n (string_of_int v))
+    s.counters;
+  List.iter
+    (fun (k, v) ->
+      let n = full k in
+      Printf.bprintf b "# TYPE %s gauge\n" n;
+      line n (prom_float v))
+    s.gauges;
+  List.iter
+    (fun (k, (h : histo_data)) ->
+      let n = full k in
+      Printf.bprintf b "# TYPE %s histogram\n" n;
+      let cum = ref 0 in
+      List.iter
+        (fun (i, occ) ->
+          cum := !cum + occ;
+          let le =
+            if i >= n_buckets - 1 then infinity else bucket_lower_bound (i + 1)
+          in
+          if le < infinity then
+            Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" n (prom_float le)
+              !cum)
+        h.buckets;
+      Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" n h.count;
+      line (n ^ "_sum") (prom_float h.sum);
+      line (n ^ "_count") (string_of_int h.count))
+    s.histos;
+  Buffer.contents b
+
 let to_json s =
   Json.Obj
     [

@@ -87,6 +87,22 @@ val merge_all : snapshot list -> snapshot
 val find_counter : snapshot -> string -> int option
 val find_histo : snapshot -> string -> histo_data option
 
+val quantile : histo_data -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([q] clamped to [0, 1]) from
+    the log-2 buckets by linear rank interpolation inside the bucket
+    holding the target rank, with the bucket range clamped to
+    [vmin, vmax].  Exact for [q = 0] ([vmin]) and [q = 1] ([vmax]), and
+    exact whenever every observation in the target bucket sits on the
+    bucket's lower bound; otherwise off by at most the bucket width (a
+    factor of 2).  [nan] when [count = 0]. *)
+
+val to_prometheus : ?namespace:string -> snapshot -> string
+(** Prometheus text exposition (version 0.0.4).  Names are
+    [<namespace>_<metric>] (default namespace ["mrcp"]) with non
+    [[a-zA-Z0-9_:]] characters mapped to [_]; counters get a [_total]
+    suffix, histograms emit cumulative [_bucket{le="..."}] series over the
+    occupied log-2 buckets plus [_sum]/[_count]. *)
+
 val to_json : snapshot -> Json.t
 
 val pp : Format.formatter -> snapshot -> unit

@@ -1,8 +1,41 @@
+type stop_reason =
+  | Proved
+  | Hit_carried_bound
+  | Cache_hit
+  | Fail_limit
+  | Node_limit
+  | Wall_limit
+  | Lns_stall
+  | Interrupted
+
+let stop_reason_to_string = function
+  | Proved -> "proved"
+  | Hit_carried_bound -> "hit_carried_bound"
+  | Cache_hit -> "cache_hit"
+  | Fail_limit -> "fail_limit"
+  | Node_limit -> "node_limit"
+  | Wall_limit -> "wall_limit"
+  | Lns_stall -> "lns_stall"
+  | Interrupted -> "interrupted"
+
+let all_stop_reasons =
+  [
+    Proved;
+    Hit_carried_bound;
+    Cache_hit;
+    Fail_limit;
+    Node_limit;
+    Wall_limit;
+    Lns_stall;
+    Interrupted;
+  ]
+
 type t = {
   seed_late : int;
   lower_bound : int;
   proved_optimal : bool;
   warm_seeded : bool;
+  stop_reason : stop_reason;
   nodes : int;
   failures : int;
   restarts : int;
@@ -13,10 +46,11 @@ type t = {
 
 let pp fmt s =
   Format.fprintf fmt
-    "cp-stats<seed_late=%d lb=%d optimal=%b%s nodes=%d fails=%d restarts=%d \
-     lns=%d t=%.4fs>"
+    "cp-stats<seed_late=%d lb=%d optimal=%b%s stop=%s nodes=%d fails=%d \
+     restarts=%d lns=%d t=%.4fs>"
     s.seed_late s.lower_bound s.proved_optimal
     (if s.warm_seeded then " warm" else "")
+    (stop_reason_to_string s.stop_reason)
     s.nodes s.failures s.restarts s.lns_moves s.elapsed
 
 let to_metrics s =
@@ -29,6 +63,10 @@ let to_metrics s =
   if s.proved_optimal then Metrics.add (Metrics.counter m "solver/proofs") 1;
   if s.warm_seeded then
     Metrics.add (Metrics.counter m "solver/warm_seeded") 1;
+  Metrics.add
+    (Metrics.counter m
+       ("solver/stop/" ^ stop_reason_to_string s.stop_reason))
+    1;
   Metrics.observe (Metrics.histogram m "solver/solve_s") s.elapsed;
   let base = Metrics.snapshot m in
   match s.metrics with

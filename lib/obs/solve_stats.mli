@@ -6,6 +6,29 @@
     [type t = Obs.Solve_stats.t = {...}] idiom) rather than each declaring
     its own copy of the node/failure/LNS fields. *)
 
+type stop_reason =
+  | Proved  (** search (or a bound match) established optimality outright *)
+  | Hit_carried_bound
+      (** proved, but only thanks to a session-carried optimality
+          certificate raising the classic lower bound ({!Cp.Session}) *)
+  | Cache_hit
+      (** warm-start plan cache hit: the carried plan already met the
+          bound, no search ran *)
+  | Fail_limit  (** stopped by [fail_limit] with the incumbent unproved *)
+  | Node_limit  (** stopped by [node_limit] *)
+  | Wall_limit  (** stopped by the wall-clock deadline *)
+  | Lns_stall
+      (** large-neighbourhood search gave up after [lns_max_stall]
+          non-improving moves *)
+  | Interrupted
+      (** an external interrupt (portfolio cancellation) cut the solve *)
+
+val stop_reason_to_string : stop_reason -> string
+(** Stable snake_case name, used for metrics counters
+    ([solver/stop/<name>]) and journal events. *)
+
+val all_stop_reasons : stop_reason list
+
 type t = {
   seed_late : int;  (** late jobs in the starting incumbent *)
   lower_bound : int;  (** provable lower bound on Σ N_j *)
@@ -14,6 +37,9 @@ type t = {
       (** the starting incumbent was the warm-start candidate carried over
           from a previous plan (always [false] without
           {!Cp.Solver.options.warm_start}) *)
+  stop_reason : stop_reason;
+      (** why the solve returned — the explicit cause, not guesswork
+          reconstructed from counters *)
   nodes : int;  (** branch-and-bound nodes explored *)
   failures : int;  (** search failures (dead ends) *)
   restarts : int;  (** restart-policy slice cuts across all searches run *)
@@ -27,5 +53,6 @@ type t = {
 val pp : Format.formatter -> t -> unit
 
 val to_metrics : t -> Metrics.snapshot
-(** The record's scalar fields as a snapshot (counters [solver/*]), merged
-    over [metrics] when present — the machine-readable payload. *)
+(** The record's scalar fields as a snapshot (counters [solver/*],
+    including [solver/stop/<reason>]), merged over [metrics] when present
+    — the machine-readable payload. *)

@@ -114,6 +114,15 @@ let collect () =
 let events_recorded () =
   List.fold_left (fun acc s -> acc + s.count) 0 (collect ())
 
+let events_dropped () =
+  List.fold_left (fun acc s -> acc + s.dropped) 0 (collect ())
+
+let dropped_by_domain () =
+  collect ()
+  |> List.filter_map (fun s ->
+         if s.dropped > 0 then Some (s.tid, s.dropped) else None)
+  |> List.sort compare
+
 let json_of_arg = function
   | Int i -> Json.Int i
   | Float f -> Json.Float f

@@ -55,6 +55,14 @@ val counter : ?cat:string -> string -> (string * float) list -> unit
 val events_recorded : unit -> int
 (** Total events currently buffered across all domains (for tests). *)
 
+val events_dropped : unit -> int
+(** Total events discarded over the per-domain cap since {!start}. *)
+
+val dropped_by_domain : unit -> (int * int) list
+(** [(tid, dropped)] for every domain that discarded events, sorted by
+    domain id; empty when nothing was dropped.  Lets CLI summaries report
+    the loss without parsing the trace file. *)
+
 val dump_string : unit -> string
 (** Serialize the buffered events (sorted by timestamp) to the Chrome trace
     array format, one event per line. *)

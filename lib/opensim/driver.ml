@@ -11,6 +11,7 @@ type t = {
   next_wake : now:int -> int option;
   overhead_seconds : unit -> float;
   max_invocation_seconds : unit -> float;
+  job_overhead_seconds : int -> float;
   solve_count : unit -> int;
   metrics : unit -> Obs.Metrics.snapshot option;
   description : string;
@@ -35,6 +36,7 @@ let of_mrcp mgr =
     overhead_seconds = (fun () -> Mrcp.Manager.overhead_seconds mgr);
     max_invocation_seconds =
       (fun () -> Mrcp.Manager.max_invocation_seconds mgr);
+    job_overhead_seconds = (fun id -> Mrcp.Manager.job_overhead_seconds mgr id);
     solve_count = (fun () -> Mrcp.Manager.solve_count mgr);
     metrics = (fun () -> Mrcp.Manager.metrics mgr);
     description =
@@ -56,6 +58,7 @@ let of_slot_scheduler sched =
     overhead_seconds =
       (fun () -> Baselines.Slot_scheduler.overhead_seconds sched);
     max_invocation_seconds = (fun () -> 0.);
+    job_overhead_seconds = (fun _ -> 0.);
     solve_count = (fun () -> 0);
     metrics = (fun () -> None);
     description = "slot-based dynamic scheduler";

@@ -29,6 +29,10 @@ type t = {
   overhead_seconds : unit -> float;
   max_invocation_seconds : unit -> float;
       (** longest single scheduling pass (0 when not tracked) *)
+  job_overhead_seconds : int -> float;
+      (** wall-clock scheduling overhead attributed to one job
+          ({!Mrcp.Manager.job_overhead_seconds}); 0 when not tracked — only
+          the MRCP manager with journaling enabled accumulates it *)
   solve_count : unit -> int;
   metrics : unit -> Obs.Metrics.snapshot option;
       (** accumulated manager/solver telemetry ({!Mrcp.Manager.metrics});

@@ -41,11 +41,13 @@ type job_progress = {
 type state = {
   driver : Driver.t;
   validate : bool;
+  journal : Obs.Journal.t option;
   engine : Engine.t;
   progress : (int, job_progress) Hashtbl.t; (* job_id -> progress *)
   planned : (int, Engine.handle * Dispatch.t) Hashtbl.t; (* unstarted *)
   started : (int, Dispatch.t) Hashtbl.t;
   completed : (int, unit) Hashtbl.t;
+  first_start : (int, int) Hashtbl.t; (* job_id -> first task start time *)
   slot_busy_until : (T.task_kind * int, int * int) Hashtbl.t;
       (* (kind, slot) -> (occupant task, busy until) *)
   mutable wake : (int * Engine.handle) option;
@@ -60,6 +62,51 @@ let record_busy st (task : T.task) =
   match task.T.kind with
   | T.Map_task -> st.map_busy_ms <- st.map_busy_ms + task.T.exec_time
   | T.Reduce_task -> st.reduce_busy_ms <- st.reduce_busy_ms + task.T.exec_time
+
+let record_first_start st (task : T.task) now =
+  if not (Hashtbl.mem st.first_start task.T.job_id) then
+    Hashtbl.replace st.first_start task.T.job_id now
+
+(* Terminal journal lines for one completed job: "job-done" with the
+   lateness split into queue wait (first task start − s_j), execution
+   (first start → completion) and — under the wall key, because it is
+   measured in wall-clock seconds — the solver/matchmaking overhead the
+   manager attributed to the job; then the job's final SLA verdict. *)
+let journal_job_done st (outcome : job_outcome) =
+  match st.journal with
+  | None -> ()
+  | Some jr ->
+      let j = outcome.job in
+      let first_start =
+        Option.value
+          (Hashtbl.find_opt st.first_start j.T.id)
+          ~default:outcome.completion
+      in
+      Obs.Journal.event jr ~t_ms:outcome.completion "job-done"
+        ~wall:
+          [
+            ( "solver_overhead_s",
+              Obs.Json.Float (st.driver.Driver.job_overhead_seconds j.T.id) );
+          ]
+        [
+          ("job", Obs.Json.Int j.T.id);
+          ("arrival", Obs.Json.Int j.T.arrival);
+          ("est", Obs.Json.Int j.T.earliest_start);
+          ("deadline", Obs.Json.Int j.T.deadline);
+          ("completion", Obs.Json.Int outcome.completion);
+          ("late", Obs.Json.Bool outcome.late);
+          ("first_start", Obs.Json.Int first_start);
+          ("queue_wait_ms", Obs.Json.Int (first_start - j.T.earliest_start));
+          ("exec_ms", Obs.Json.Int (outcome.completion - first_start));
+          ( "lateness_ms",
+            Obs.Json.Int (max 0 (outcome.completion - j.T.deadline)) );
+        ];
+      Obs.Journal.event jr ~t_ms:outcome.completion "sla"
+        [
+          ("job", Obs.Json.Int j.T.id);
+          ("to", Obs.Json.String (if outcome.late then "late" else "met"));
+          ("final", Obs.Json.Bool true);
+        ]
 
 let check_start st (d : Dispatch.t) now =
   let task = d.Dispatch.task in
@@ -110,6 +157,7 @@ let rec on_task_complete st (d : Dispatch.t) sim =
       }
     in
     st.outcomes <- outcome :: st.outcomes;
+    journal_job_done st outcome;
     if Obs.Trace.enabled () then
       Obs.Trace.instant ~cat:"sim" "job-done"
         ~args:
@@ -127,6 +175,7 @@ and on_task_start st (d : Dispatch.t) sim =
   Hashtbl.remove st.planned d.Dispatch.task.T.task_id;
   if st.validate then check_start st d now;
   record_busy st d.Dispatch.task;
+  record_first_start st d.Dispatch.task now;
   Hashtbl.replace st.started d.Dispatch.task.T.task_id d;
   ignore
     (Engine.schedule_after ~rank:0 sim ~delay:d.Dispatch.task.T.exec_time
@@ -140,6 +189,7 @@ and launch_now st (d : Dispatch.t) sim =
       d.Dispatch.task.T.task_id d.Dispatch.start now;
   if st.validate then check_start st d now;
   record_busy st d.Dispatch.task;
+  record_first_start st d.Dispatch.task now;
   Hashtbl.replace st.started d.Dispatch.task.T.task_id d;
   ignore
     (Engine.schedule_after ~rank:0 sim ~delay:d.Dispatch.task.T.exec_time
@@ -221,18 +271,20 @@ and react st sim =
   | Driver.No_change -> ());
   update_wake st sim
 
-let run ?(validate = false) ?cluster ~driver ~jobs () =
+let run ?(validate = false) ?journal ?metrics_every ?cluster ~driver ~jobs () =
   if jobs = [] then invalid_arg "Simulator.run: no jobs";
   let engine = Engine.create () in
   let st =
     {
       driver;
       validate;
+      journal;
       engine;
       progress = Hashtbl.create 256;
       planned = Hashtbl.create 256;
       started = Hashtbl.create 1024;
       completed = Hashtbl.create 1024;
+      first_start = Hashtbl.create 256;
       slot_busy_until = Hashtbl.create 256;
       wake = None;
       outcomes = [];
@@ -255,12 +307,47 @@ let run ?(validate = false) ?cluster ~driver ~jobs () =
              if Obs.Trace.enabled () then
                Obs.Trace.instant ~cat:"sim" "job-arrival"
                  ~args:[ ("job", Obs.Trace.Int job.T.id) ];
+             (match st.journal with
+             | None -> ()
+             | Some jr ->
+                 Obs.Journal.event jr ~t_ms:(Engine.now sim) "arrival"
+                   [
+                     ("job", Obs.Json.Int job.T.id);
+                     ("est", Obs.Json.Int job.T.earliest_start);
+                     ("deadline", Obs.Json.Int job.T.deadline);
+                     ("tasks", Obs.Json.Int (T.task_count job));
+                   ]);
              st.driver.Driver.submit ~now:(Engine.now sim) job;
              react st sim)))
     jobs;
   Obs.Trace.with_span ~cat:"sim" "simulate"
     ~args:[ ("jobs", Obs.Trace.Int (List.length jobs)) ]
-    (fun () -> Engine.run_until_empty engine);
+    (fun () ->
+      match (journal, metrics_every) with
+      | Some jr, Some every when every > 0 ->
+          (* drain in virtual-time slices, dumping a metrics snapshot at
+             every multiple of [every].  The snapshot body lives under the
+             wall key: histograms of wall-clock latencies are not
+             deterministic across runs, only the snapshot's presence is. *)
+          let next = ref every in
+          while Engine.pending engine > 0 do
+            Engine.run ~until:!next engine;
+            if Engine.pending engine > 0 then begin
+              let m =
+                match driver.Driver.metrics () with
+                | Some s -> Obs.Metrics.to_json s
+                | None -> Obs.Json.Null
+              in
+              Obs.Journal.event jr ~t_ms:!next "snapshot"
+                ~wall:[ ("metrics", m) ]
+                [
+                  ("completed", Obs.Json.Int (List.length st.outcomes));
+                  ("solves", Obs.Json.Int (driver.Driver.solve_count ()));
+                ]
+            end;
+            next := !next + every
+          done
+      | _ -> Engine.run_until_empty engine);
   let jobs_total = List.length jobs in
   let done_total = List.length st.outcomes in
   if done_total <> jobs_total then
@@ -273,6 +360,27 @@ let run ?(validate = false) ?cluster ~driver ~jobs () =
   let makespan_ms =
     List.fold_left (fun acc o -> max acc o.completion) 0 outcomes
   in
+  (* run-end oracle line: the totals the audit tool recomputes from the
+     per-job lines alone and cross-checks against *)
+  (match journal with
+  | None -> ()
+  | Some jr ->
+      Obs.Journal.event jr ~t_ms:makespan_ms "run-end"
+        ~wall:
+          [
+            ("total_overhead_s", Obs.Json.Float total_overhead_s);
+            ( "o_per_job_s",
+              Obs.Json.Float (total_overhead_s /. float_of_int jobs_total) );
+            ( "max_invocation_s",
+              Obs.Json.Float (driver.Driver.max_invocation_seconds ()) );
+          ]
+        [
+          ("manager", Obs.Json.String driver.Driver.name);
+          ("jobs_total", Obs.Json.Int jobs_total);
+          ("n_late", Obs.Json.Int n_late);
+          ("solves", Obs.Json.Int (driver.Driver.solve_count ()));
+          ("makespan_ms", Obs.Json.Int makespan_ms);
+        ]);
   let utilization cluster slots_of busy makespan =
     match cluster with
     | None -> None

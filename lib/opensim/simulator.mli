@@ -50,6 +50,8 @@ type results = {
 
 val run :
   ?validate:bool ->
+  ?journal:Obs.Journal.t ->
+  ?metrics_every:int ->
   ?cluster:Mapreduce.Types.resource array ->
   driver:Driver.t ->
   jobs:Mapreduce.Types.job list ->
@@ -60,6 +62,17 @@ val run :
     tasks at once, that reduces never start before the job's maps are all
     done, and that no task starts before its job's s_j — an end-to-end oracle
     over the whole manager + matchmaker + simulator pipeline.
+
+    With [~journal] the simulator appends its side of the decision journal
+    (the manager writes its own events through {!Mrcp.Manager.config}):
+    one "arrival" event per job, a terminal "job-done" event with the
+    lateness attribution split (queue wait / execution / solver overhead)
+    plus the job's final "sla" verdict, and a closing "run-end" event
+    carrying the run totals (Σ N_j, O) that {!Report.Audit} independently
+    recomputes.  [~metrics_every] (virtual ms, requires [~journal])
+    additionally dumps a metrics snapshot event at every multiple of the
+    period; snapshot bodies sit under the journal's wall key because
+    wall-clock histograms are not deterministic.
     @raise Failure on a validation violation. *)
 
 val pp_results : Format.formatter -> results -> unit

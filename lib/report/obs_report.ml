@@ -62,21 +62,54 @@ let histo_table (snap : M.snapshot) =
       let rows =
         List.map
           (fun (n, (h : M.histo_data)) ->
+            let q v =
+              if h.M.count = 0 then "n/a"
+              else Table.fmt_seconds (M.quantile h v)
+            in
             [
               n;
               string_of_int h.M.count;
               Table.fmt_seconds h.M.sum;
               (if h.M.count = 0 then "n/a" else Table.fmt_seconds h.M.vmin);
+              q 0.5;
+              q 0.99;
               (if h.M.count = 0 then "n/a" else Table.fmt_seconds h.M.vmax);
             ])
           histos
       in
       Some
         (Table.render ~title:"histograms"
-           ~headers:[ "histogram"; "count"; "sum"; "min"; "max" ]
+           ~headers:
+             [ "histogram"; "count"; "sum"; "min"; "p50"; "p99"; "max" ]
            ~rows ())
 
+(* why did each solve stop: the solver/stop/<reason> counters that
+   Obs.Solve_stats.to_metrics accumulates *)
+let stop_reason_table (snap : M.snapshot) =
+  let prefix = "solver/stop/" in
+  let plen = String.length prefix in
+  let rows =
+    List.filter_map
+      (fun (name, v) ->
+        if String.length name > plen && String.sub name 0 plen = prefix then
+          Some [ String.sub name plen (String.length name - plen);
+                 string_of_int v ]
+        else None)
+      snap.M.counters
+  in
+  if rows = [] then None
+  else
+    Some
+      (Table.render ~title:"solver stop reasons"
+         ~headers:[ "stop reason"; "solves" ]
+         ~rows ())
+
 let summary snap =
-  [ scalar_table snap; histo_table snap; propagator_table snap ]
+  [
+    scalar_table snap;
+    stop_reason_table snap;
+    histo_table snap;
+    propagator_table snap;
+  ]
   |> List.filter_map Fun.id
   |> String.concat "\n"

@@ -7,6 +7,13 @@ val propagator_table : Obs.Metrics.snapshot -> string option
     contains no propagator metrics (e.g. every solve took the greedy fast
     path, which never builds a store). *)
 
+val stop_reason_table : Obs.Metrics.snapshot -> string option
+(** Solve counts by {!Obs.Solve_stats.stop_reason}, from the
+    [solver/stop/<reason>] counters.  [None] when no solves were
+    recorded. *)
+
 val summary : Obs.Metrics.snapshot -> string
-(** The whole snapshot: a counters/gauges table, a histogram table
-    (count/sum/min/max), and the propagator table when present. *)
+(** The whole snapshot: a counters/gauges table, the stop-reason table, a
+    histogram table (count/sum/min/p50/p99/max — quantiles estimated from
+    the log-2 buckets via {!Obs.Metrics.quantile}), and the propagator
+    table when present. *)

@@ -149,6 +149,7 @@ type stats = Obs.Solve_stats.t = {
   lower_bound : int;
   proved_optimal : bool;
   warm_seeded : bool;
+  stop_reason : Obs.Solve_stats.stop_reason;
   nodes : int;
   failures : int;
   restarts : int;
@@ -284,6 +285,7 @@ let solve ?(limits = Cp.Search.no_limits) ?(instrument = false) inst =
         lower_bound = lb;
         proved_optimal = true;
         warm_seeded = false;
+        stop_reason = Obs.Solve_stats.Proved;
         nodes = 0;
         failures = 0;
         restarts = 0;
@@ -302,6 +304,7 @@ let solve ?(limits = Cp.Search.no_limits) ?(instrument = false) inst =
         lower_bound = lb;
         proved_optimal = outcome.Cp.Search.proved_optimal;
         warm_seeded = false;
+        stop_reason = Cp.Search.stop_reason_of_cause outcome.Cp.Search.stopped;
         nodes = outcome.Cp.Search.nodes;
         failures = outcome.Cp.Search.failures;
         restarts = outcome.Cp.Search.restarts;

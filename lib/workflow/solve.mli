@@ -43,6 +43,9 @@ type stats = Obs.Solve_stats.t = {
   lower_bound : int;
   proved_optimal : bool;
   warm_seeded : bool;  (** always [false]: the DAG solver has no warm start *)
+  stop_reason : Obs.Solve_stats.stop_reason;
+      (** [Proved] or the limit that cut the search — never the
+          cache/session/LNS reasons, which don't exist here *)
   nodes : int;
   failures : int;
   restarts : int;  (** always 0: the DAG solver runs without restarts *)

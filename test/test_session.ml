@@ -349,6 +349,7 @@ let test_no_session_bit_identity () =
         validate = true;
         warm_start = false;
         session = false;
+        journal = None;
       }
   in
   List.iter (fun j -> Mrcp.Manager.submit mgr ~now:0 j) jobs;
