@@ -6,7 +6,8 @@ Usage: bench/check_journal.py JOURNAL.jsonl
 Checks the envelope contract every consumer (mrcp_audit, the determinism
 tests) relies on:
 
-  - every line is a JSON object with v == 1;
+  - every line is a JSON object with v in {1, 2} (v2 added the chaos
+    fault events and the run-end fault totals);
   - seq is contiguous from 0 (the file is complete and ordered);
   - t (virtual ms) is a non-negative integer, non-decreasing within a
     run (it resets after each run-end: one journal may hold several
@@ -35,7 +36,16 @@ REQUIRED = {
                  "first_start", "queue_wait_ms", "exec_ms", "lateness_ms"},
     "snapshot": {"completed", "solves"},
     "run-end": {"manager", "jobs_total", "n_late", "solves", "makespan_ms"},
+    "resource-crash": {"resource", "lost", "lost_ms", "rejoin"},
+    "resource-rejoin": {"resource"},
+    "task-attempt-failed": {"task", "job", "attempt", "wasted_ms"},
+    "straggler": {"task", "job", "attempt", "factor_1000", "exec_ms",
+                  "inflated_ms"},
 }
+
+# fault totals every v2 run-end line must carry
+RUN_END_V2 = {"crashes", "rejoins", "task_failures", "stragglers",
+              "lost_work_ms"}
 
 SOLVE_REQUIRED = {"stop_reason", "seed_late", "lower_bound", "proved",
                   "warm_seeded", "nodes", "failures", "restarts", "lns_moves"}
@@ -71,7 +81,7 @@ def main(path):
             keys = [k for k, _ in pairs]
             events += 1
 
-            if ev.get("v") != 1:
+            if ev.get("v") not in (1, 2):
                 err(lineno, f"unsupported version {ev.get('v')!r}")
             if ev.get("seq") != expect_seq:
                 err(lineno, f"seq {ev.get('seq')!r}, expected {expect_seq}")
@@ -114,6 +124,20 @@ def main(path):
             elif kind == "run-end":
                 runs += 1
                 last_t = None  # virtual time restarts with the next run
+                if ev.get("v") == 2:
+                    missing = RUN_END_V2 - set(keys)
+                    if missing:
+                        err(lineno,
+                            f"run-end: missing v2 fault totals "
+                            f"{sorted(missing)}")
+            elif kind == "straggler":
+                if (isinstance(ev.get("inflated_ms"), int)
+                        and isinstance(ev.get("exec_ms"), int)
+                        and ev["inflated_ms"] <= ev["exec_ms"]):
+                    err(lineno, "straggler: inflated_ms <= exec_ms")
+            elif kind == "resource-crash":
+                if not isinstance(ev.get("lost"), list):
+                    err(lineno, "resource-crash: lost must be a list")
 
     if events == 0:
         err(0, "empty journal")

@@ -42,9 +42,22 @@ let write_metrics_out path = function
 let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
     seed budget ordering domains deferral validate verbose replay trace_out
     metrics no_warm_start no_session kernel restart journal_out metrics_every
-    metrics_out trace_limit =
+    metrics_out trace_limit crash_rate straggler_p straggler_factor task_fail_p
+    =
   let warm_start = not no_warm_start in
   let session = not no_session in
+  let chaos =
+    if crash_rate = 0. && straggler_p = 0. && task_fail_p = 0. then None
+    else
+      Some
+        {
+          Opensim.Chaos.default with
+          Opensim.Chaos.crash_rate;
+          straggler_p;
+          straggler_factor = (1.5, max 1.5 straggler_factor);
+          task_failure_p = task_fail_p;
+        }
+  in
   let journal = Option.map (fun _ -> Obs.Journal.create ()) journal_out in
   let metrics_every =
     Option.map (fun s -> int_of_float (1000. *. s)) metrics_every
@@ -74,6 +87,7 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
       restart;
       journal;
       metrics_every;
+      chaos;
     }
   in
   if trace_out <> None then Obs.Trace.start ?limit:trace_limit ();
@@ -133,9 +147,16 @@ let run workload manager jobs lambda e_max p s_max d_m m map_cap reduce_cap
                 Opensim.Driver.of_slot_scheduler
                   (Baselines.Slot_scheduler.create ~cluster ~policy)
           in
+          let plan =
+            match chaos with
+            | None -> Opensim.Chaos.no_faults
+            | Some c ->
+                Opensim.Chaos.materialize c ~cluster ~jobs:trace_jobs
+                  ~seed:(seed + 61)
+          in
           let r =
             Opensim.Simulator.run ~validate ?journal ?metrics_every ~cluster
-              ~driver ~jobs:trace_jobs ()
+              ~chaos:plan ~driver ~jobs:trace_jobs ()
           in
           Format.printf "%a@." Opensim.Simulator.pp_results r;
           (match (r.Opensim.Simulator.map_utilization,
@@ -306,7 +327,25 @@ let term =
            & info [ "trace-limit" ]
                ~doc:"With --trace: per-domain ring-buffer capacity in \
                      events; older events beyond it are dropped (drop counts \
-                     are reported in the --metrics summary)."))
+                     are reported in the --metrics summary).")
+    $ Arg.(value & opt float 0.
+           & info [ "crash-rate" ]
+               ~doc:"Chaos: expected resource crashes per resource per second \
+                     of virtual time (Poisson hazard; crashed resources \
+                     rejoin after 30-120 s unless retired).  0 disables.")
+    $ Arg.(value & opt float 0.
+           & info [ "straggler-p" ]
+               ~doc:"Chaos: per-attempt probability that a task attempt runs \
+                     inflated (a straggler).  0 disables.")
+    $ Arg.(value & opt float 3.0
+           & info [ "straggler-factor" ]
+               ~doc:"Chaos: upper bound of the straggler inflation factor \
+                     (lower bound 1.5).")
+    $ Arg.(value & opt float 0.
+           & info [ "task-fail-p" ]
+               ~doc:"Chaos: per-attempt task failure probability (at most 2 \
+                     injected failures per task; failed attempts re-execute \
+                     from scratch).  0 disables."))
 
 let cmd =
   Cmd.v

@@ -20,6 +20,7 @@ type job_state = {
 
 type running = {
   r_job : job_state;
+  r_task : T.task;
   r_kind : T.task_kind;
   r_slot : int;
   r_resource : int;
@@ -29,6 +30,7 @@ type slot = { s_id : int; s_resource : int }
 
 type t = {
   policy : policy;
+  cluster : T.resource array;
   mutable jobs : job_state list; (* active, unordered *)
   mutable free_map_slots : slot list;
   mutable free_reduce_slots : slot list;
@@ -55,6 +57,7 @@ let create ~cluster ~policy =
   let reduce_slots = slots_of cluster (fun r -> r.T.reduce_capacity) in
   {
     policy;
+    cluster;
     jobs = [];
     free_map_slots = map_slots;
     free_reduce_slots = reduce_slots;
@@ -107,6 +110,54 @@ let task_completed t ~now:_ ~task_id =
         && js.running_reduces = 0
       in
       if done_ r.r_job then t.jobs <- List.filter (fun j -> j != r.r_job) t.jobs
+
+(* Take a running attempt back: the task re-enters its job's pending list
+   (kept sorted longest-first) and the running counters shrink.
+   [maps_remaining] counts pending + running, so it is unchanged. *)
+let requeue t ~task_id ~free_slot =
+  match Hashtbl.find_opt t.running task_id with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Slot_scheduler.requeue: task %d not running" task_id)
+  | Some r ->
+      Hashtbl.remove t.running task_id;
+      let slot = { s_id = r.r_slot; s_resource = r.r_resource } in
+      (match r.r_kind with
+      | T.Map_task ->
+          if free_slot then t.free_map_slots <- slot :: t.free_map_slots;
+          r.r_job.running_maps <- r.r_job.running_maps - 1;
+          r.r_job.pending_maps <-
+            List.merge by_length_desc [ r.r_task ] r.r_job.pending_maps
+      | T.Reduce_task ->
+          if free_slot then t.free_reduce_slots <- slot :: t.free_reduce_slots;
+          r.r_job.running_reduces <- r.r_job.running_reduces - 1;
+          r.r_job.pending_reduces <-
+            List.merge by_length_desc [ r.r_task ] r.r_job.pending_reduces)
+
+let task_attempt_failed t ~now:_ ~task_id = requeue t ~task_id ~free_slot:true
+
+let resource_lost t ~now:_ ~resource_id ~lost =
+  (* the dead resource's idle slots leave the pool; its occupied slots are
+     implicitly retired with the killed attempts (not returned to the free
+     list), so [resource_rejoined] can restore the full slot set *)
+  t.free_map_slots <-
+    List.filter (fun s -> s.s_resource <> resource_id) t.free_map_slots;
+  t.free_reduce_slots <-
+    List.filter (fun s -> s.s_resource <> resource_id) t.free_reduce_slots;
+  List.iter (fun task_id -> requeue t ~task_id ~free_slot:false) lost
+
+let resource_rejoined t ~now:_ ~resource_id =
+  (* while down, none of the resource's slots were in circulation (idle ones
+     were filtered out, occupied ones died with their attempts), so the full
+     per-resource slot set — recomputed under the stable global numbering —
+     returns to the pool *)
+  let mine slots =
+    List.filter (fun s -> s.s_resource = resource_id) slots
+  in
+  let map_slots = mine (slots_of t.cluster (fun r -> r.T.map_capacity)) in
+  let reduce_slots = mine (slots_of t.cluster (fun r -> r.T.reduce_capacity)) in
+  t.free_map_slots <- map_slots @ t.free_map_slots;
+  t.free_reduce_slots <- reduce_slots @ t.free_reduce_slots
 
 (* Bounds-based phase-time estimate with s slots: (W - longest)/s + longest
    (the ARIA-style upper bound). *)
@@ -197,6 +248,7 @@ let dispatches t ~now =
         Hashtbl.replace t.running task.T.task_id
           {
             r_job = js;
+            r_task = task;
             r_kind = task.T.kind;
             r_slot = slot.s_id;
             r_resource = slot.s_resource;

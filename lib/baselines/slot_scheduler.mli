@@ -41,6 +41,19 @@ val task_completed : t -> now:int -> task_id:int -> unit
     and a job whose last map finished unlocks its reduces.
     @raise Invalid_argument for an unknown or not-running task. *)
 
+val task_attempt_failed : t -> now:int -> task_id:int -> unit
+(** Chaos: the running attempt aborted.  The slot returns to the pool and
+    the task re-enters its job's pending list (to be re-executed in full).
+    @raise Invalid_argument for an unknown or not-running task. *)
+
+val resource_lost : t -> now:int -> resource_id:int -> lost:int list -> unit
+(** Chaos: the resource crashed.  Its idle slots leave the free pool, and
+    each task in [lost] (the attempts killed in flight) re-enters its job's
+    pending list without freeing a slot. *)
+
+val resource_rejoined : t -> now:int -> resource_id:int -> unit
+(** Chaos: the resource is back; its full slot set rejoins the free pool. *)
+
 val dispatches : t -> now:int -> Sched.Dispatch.t list
 (** Decide what to launch right now (all starts = [now]).  Call after any
     {!submit}/{!task_completed}/wake; idempotent (returned tasks are marked

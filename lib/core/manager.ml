@@ -29,7 +29,9 @@ let default_config =
   }
 
 type task_state = {
-  task : T.task;
+  nominal : T.task; (* as submitted; [task] may carry a straggler's inflated
+                       execution time for the current attempt *)
+  mutable task : T.task;
   mutable dispatch : Dispatch.t option;
   mutable finished : bool;
 }
@@ -69,6 +71,13 @@ type t = {
   mutable solver_metrics : Obs.Metrics.snapshot;
   (* Σ N_j of the last installed plan, for the trace's late-job delta *)
   mutable last_late : int;
+  (* fault-reaction state: resources currently down, whether a fault
+     notification forces the next invocation to re-plan even with an empty
+     queue, and how many times a fault invalidated the persistent session
+     (and with it the carried optimality certificate) *)
+  down : (int, unit) Hashtbl.t;
+  mutable dirty : bool;
+  mutable fault_resets : int;
   (* journal-only bookkeeping (both empty when [config.journal = None]):
      per-job accumulated solver overhead, and the last journaled predicted
      SLA state (true = at risk) per active job *)
@@ -101,6 +110,9 @@ let create ~cluster config =
        else None);
     solver_metrics = Obs.Metrics.empty;
     last_late = 0;
+    down = Hashtbl.create 8;
+    dirty = false;
+    fault_resets = 0;
     job_overhead = Hashtbl.create 64;
     sla_state = Hashtbl.create 64;
   }
@@ -257,16 +269,27 @@ let validate_plan dispatches frozen ~ests =
       | Some _ | None -> ())
     dispatches
 
+(* Capacity over the resources currently up (all of them, absent faults). *)
+let up_capacity t select =
+  if Hashtbl.length t.down = 0 then
+    Array.fold_left (fun acc r -> acc + select r) 0 t.cluster
+  else
+    Array.fold_left
+      (fun acc r ->
+        if Hashtbl.mem t.down r.T.res_id then acc else acc + select r)
+      0 t.cluster
+
 let invoke t ~now =
   release_due t ~now;
-  if not (Queue.is_empty t.queue) then begin
+  if (not (Queue.is_empty t.queue)) || t.dirty then begin
+    t.dirty <- false;
     let span_ts = if Obs.Trace.enabled () then Some (Obs.Trace.now_us ()) else None in
     let t0 = Unix.gettimeofday () in
     (* absorb the job queue into the active set *)
     let arrived = ref [] in
     Queue.iter
       (fun (job : T.job) ->
-        let state task = { task; dispatch = None; finished = false } in
+        let state task = { nominal = task; task; dispatch = None; finished = false } in
         t.active <-
           {
             job;
@@ -304,11 +327,23 @@ let invoke t ~now =
         ([], []) t.active
     in
     t.active <- still_active;
+    if pending_jobs = [] then begin
+      (* a fault notification left nothing pending (e.g. a rejoin with no
+         open tasks, or the affected tasks are all still running): install
+         the trivial empty plan — bumping the version so the simulator
+         reconciles away any stale start events — and skip the solve. *)
+      (* not a scheduling pass: no solve ran and no "invoke" journal line is
+         written, so the O bookkeeping skips it too — the audit tool's
+         Σ elapsed over journaled invokes must equal the run-end total *)
+      t.current_plan <- [];
+      t.plan_version <- t.plan_version + 1
+    end
+    else begin
     let inst =
       {
         Instance.now;
-        map_capacity = t.map_capacity;
-        reduce_capacity = t.reduce_capacity;
+        map_capacity = up_capacity t (fun r -> r.T.map_capacity);
+        reduce_capacity = up_capacity t (fun r -> r.T.reduce_capacity);
         jobs = Array.of_list pending_jobs;
       }
     in
@@ -381,8 +416,15 @@ let invoke t ~now =
           failwith ("MRCP-RM solver produced infeasible solution: "
                     ^ String.concat "; " errs)
     end;
-    (* lines 21–22 + §V.D: extract starts, matchmake onto resources *)
+    (* lines 21–22 + §V.D: extract starts, matchmake onto resources.  Slot
+       numbering always follows the full cluster — crashed resources keep
+       their slot ids but are excluded from assignment — so frozen tasks on
+       surviving resources stay on the slots they already hold. *)
     let mm = Matchmaker.create ~cluster:t.cluster in
+    if Hashtbl.length t.down > 0 then
+      Hashtbl.fold (fun rid () acc -> rid :: acc) t.down []
+      |> List.sort compare
+      |> List.iter (fun resource_id -> Matchmaker.disable_resource mm ~resource_id);
     let frozen_dispatches = ref [] in
     List.iter
       (fun js ->
@@ -613,7 +655,75 @@ let invoke t ~now =
           now (List.length t.active) (List.length dispatches)
           (Fmt.option Cp.Solver.pp_stats)
           t.last_stats elapsed)
+    end
   end
+
+(* --- fault reactions (driven by the simulator's chaos events) ------------ *)
+
+let find_task_state t task_id =
+  let hit = ref None in
+  let scan ts = if ts.task.T.task_id = task_id then hit := Some ts in
+  List.iter
+    (fun js ->
+      if !hit = None then begin
+        Array.iter scan js.maps;
+        Array.iter scan js.reduces
+      end)
+    t.active;
+  !hit
+
+(* Any fault invalidates the persistent session and its carried optimality
+   certificate: a rejoin grows the capacity (a carried bound could overclaim),
+   a lost or failed task falsifies the session's root-fixed starts, and a
+   straggler changes a duration baked into the stored model.  The next solve
+   rebuilds a fresh session from scratch. *)
+let drop_session t =
+  t.session <- None;
+  t.fault_resets <- t.fault_resets + 1;
+  t.dirty <- true
+
+(* The attempt is gone: forget its dispatch and any straggler-inflated
+   execution time so the task re-enters the next instance as freshly pending
+   (classify will bump its effective est up to now). *)
+let requeue_task ts =
+  ts.dispatch <- None;
+  ts.finished <- false;
+  ts.task <- ts.nominal
+
+let resource_lost t ~now:_ ~resource_id ~lost =
+  Hashtbl.replace t.down resource_id ();
+  List.iter
+    (fun id ->
+      match find_task_state t id with
+      | Some ts -> requeue_task ts
+      | None -> ())
+    lost;
+  drop_session t
+
+let resource_rejoined t ~now:_ ~resource_id =
+  Hashtbl.remove t.down resource_id;
+  drop_session t
+
+let task_attempt_failed t ~now:_ ~task_id =
+  (match find_task_state t task_id with
+  | Some ts -> requeue_task ts
+  | None -> ());
+  drop_session t
+
+let task_started t ~now:_ ~task_id ~exec_ms =
+  match find_task_state t task_id with
+  | None -> ()
+  | Some ts ->
+      if ts.task.T.exec_time <> exec_ms then begin
+        ts.task <- { ts.task with T.exec_time = exec_ms };
+        (match ts.dispatch with
+        | Some d -> ts.dispatch <- Some { d with Dispatch.task = ts.task }
+        | None -> ());
+        drop_session t
+      end
+
+let fault_resets t = t.fault_resets
+let resources_down t = Hashtbl.length t.down
 
 let plan t = t.current_plan
 let plan_version t = t.plan_version

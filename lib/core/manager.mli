@@ -82,8 +82,41 @@ val submit : t -> now:int -> Mapreduce.Types.job -> unit
 
 val invoke : t -> now:int -> unit
 (** Run the MRCP-RM algorithm if there is queued work (new or deferred-due
-    jobs).  No-op otherwise — mirroring "if MRCP-RM is not busy and there are
-    jobs available in the job queue" (§V.A). *)
+    jobs) or a fault notification marked the state dirty.  No-op otherwise —
+    mirroring "if MRCP-RM is not busy and there are jobs available in the job
+    queue" (§V.A). *)
+
+val resource_lost : t -> now:int -> resource_id:int -> lost:int list -> unit
+(** A resource crashed.  [lost] are the task ids whose in-flight attempts
+    died with it: their dispatches are forgotten (the work is lost; they
+    re-enter the next instance as pending with est bumped to now), the
+    resource is excluded from capacity and matchmaking until
+    {!resource_rejoined}, the persistent session and its carried optimality
+    certificate are invalidated, and the next {!invoke} re-solves even with
+    an empty queue. *)
+
+val resource_rejoined : t -> now:int -> resource_id:int -> unit
+(** The resource accepts work again.  Capacity grows back, so the carried
+    certificate (a lower bound proved under the smaller capacity) is
+    invalidated along with the session, and a re-solve is forced. *)
+
+val task_attempt_failed : t -> now:int -> task_id:int -> unit
+(** The task's running attempt aborted; it re-enters the open set and will
+    be re-executed from scratch (with its nominal execution time). *)
+
+val task_started : t -> now:int -> task_id:int -> exec_ms:int -> unit
+(** An attempt started with an actual execution time of [exec_ms] (a chaos
+    straggler).  The manager updates the task's frozen record — so later
+    classifications and matchmaker occupations use the real finish time —
+    and forces a re-solve to repair the downstream plan.  No-op when
+    [exec_ms] equals the recorded execution time. *)
+
+val fault_resets : t -> int
+(** Times a fault notification invalidated the persistent session (and the
+    carried optimality certificate).  0 in fault-free runs. *)
+
+val resources_down : t -> int
+(** Resources currently excluded after {!resource_lost}. *)
 
 val plan : t -> Sched.Dispatch.t list
 (** Current dispatches for every active task that has not yet started,

@@ -42,6 +42,15 @@ let slots_for t = function
   | T.Map_task -> t.map_slots
   | T.Reduce_task -> t.reduce_slots
 
+let disable_resource t ~resource_id =
+  let disable slots =
+    Array.iter
+      (fun s -> if s.resource_id = resource_id then s.available_from <- max_int)
+      slots
+  in
+  disable t.map_slots;
+  disable t.reduce_slots
+
 let occupy t ~kind ~slot ~until =
   let slots = slots_for t kind in
   if slot < 0 || slot >= Array.length slots then

@@ -28,6 +28,12 @@ val create : cluster:Mapreduce.Types.resource array -> t
 val map_slot_count : t -> int
 val reduce_slot_count : t -> int
 
+val disable_resource : t -> resource_id:int -> unit
+(** Mark every slot of a crashed resource permanently unavailable
+    ([available_from = max_int]) while keeping the global slot numbering
+    stable — best-fit assignment then never picks them, and frozen tasks on
+    surviving resources keep their slot ids. *)
+
 val occupy :
   t -> kind:Mapreduce.Types.task_kind -> slot:int -> until:int -> unit
 (** Pre-load a running (frozen) task's occupation: the slot is unavailable

@@ -29,6 +29,9 @@ type config = {
       (* one journal shared across reps: events of rep i+1 append after rep
          i's (seq keeps growing); use reps = 1 for per-run audit files *)
   metrics_every : int option; (* virtual ms between journal snapshots *)
+  chaos : Opensim.Chaos.config option;
+      (* fault injection: a plan is materialized per replication from the
+         rep's seed, so reps see different (but reproducible) fault traces *)
 }
 
 let default_config =
@@ -49,6 +52,7 @@ let default_config =
     restart = Cp.Restart.Off;
     journal = None;
     metrics_every = None;
+    chaos = None;
   }
 
 type point = {
@@ -151,8 +155,13 @@ let replicate ~label ~config ~make_jobs ~cluster =
         let seed = config.base_seed + (7919 * i) in
         let jobs = make_jobs ~seed in
         let driver = make_driver config cluster ~seed in
+        let chaos =
+          match config.chaos with
+          | None -> Opensim.Chaos.no_faults
+          | Some c -> Opensim.Chaos.materialize c ~cluster ~jobs ~seed:(seed + 61)
+        in
         Sim.run ~validate:config.validate ?journal:config.journal
-          ?metrics_every:config.metrics_every ~driver ~jobs ())
+          ?metrics_every:config.metrics_every ~chaos ~driver ~jobs ())
   in
   summarize ~label ~config ~elapsed:(Obs.Clock.now () -. t0) results
 

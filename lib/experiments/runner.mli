@@ -51,6 +51,12 @@ type config = {
   metrics_every : int option;
       (** with [journal]: virtual ms between metrics-snapshot journal
           events ([--metrics-every], which takes seconds, in the CLIs) *)
+  chaos : Opensim.Chaos.config option;
+      (** [Some c]: materialize a fault plan per replication (from the
+          replication's seed, {!Opensim.Chaos.materialize}) and run the
+          simulation under injected crashes / stragglers / attempt failures
+          ([--crash-rate] etc. in mrcp_sim).  [None] (default) runs
+          fault-free and bit-identical to a chaos-free build. *)
 }
 
 val default_config : config

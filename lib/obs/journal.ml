@@ -1,4 +1,4 @@
-let version = 1
+let version = 2
 
 type t = { buf : Buffer.t; mutable seq : int }
 

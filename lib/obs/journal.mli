@@ -28,7 +28,11 @@
 type t
 
 val version : int
-(** Current schema version (written into every line's [v] field). *)
+(** Current schema version (written into every line's [v] field).
+    v2 added the fault events ("resource-crash", "resource-rejoin",
+    "task-attempt-failed", "straggler") and the run-end fault totals
+    (crash/rejoin/failure/straggler counters, [lost_work_ms]); v1 readers
+    must reject it. *)
 
 val create : unit -> t
 

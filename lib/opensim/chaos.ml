@@ -1,0 +1,236 @@
+module T = Mapreduce.Types
+module Rng = Simrand.Rng
+
+type config = {
+  crash_rate : float;
+  repair_s : int * int;
+  permanent_p : float;
+  straggler_p : float;
+  straggler_factor : float * float;
+  task_failure_p : float;
+  max_failures : int;
+  horizon_ms : int;
+}
+
+let default =
+  {
+    crash_rate = 0.;
+    repair_s = (30, 120);
+    permanent_p = 0.1;
+    straggler_p = 0.;
+    straggler_factor = (1.5, 3.0);
+    task_failure_p = 0.;
+    max_failures = 2;
+    horizon_ms = 0;
+  }
+
+type fault =
+  | Crash of { resource : int; at : int; rejoin : int option }
+  | Task_failure of { task : int; attempt : int; frac_1000 : int }
+  | Straggler of { task : int; attempt : int; factor_1000 : int }
+
+type plan = fault list
+
+let no_faults : plan = []
+
+let pp_fault fmt = function
+  | Crash { resource; at; rejoin } ->
+      Format.fprintf fmt "crash(r%d at %d%s)" resource at
+        (match rejoin with
+        | Some t -> Printf.sprintf ", rejoin %d" t
+        | None -> ", permanent")
+  | Task_failure { task; attempt; frac_1000 } ->
+      Format.fprintf fmt "fail(task %d attempt %d @%d/1000)" task attempt
+        frac_1000
+  | Straggler { task; attempt; factor_1000 } ->
+      Format.fprintf fmt "straggle(task %d attempt %d x%d/1000)" task attempt
+        factor_1000
+
+(* Per-dimension streams are derived by mixing the scenario seed with a
+   stable per-entity key, so the decision for one task/resource never
+   depends on how many variates another entity consumed. *)
+let stream seed key = Rng.create ((seed * 1_000_003) lxor (key * 8_191))
+
+let auto_horizon jobs =
+  let span =
+    List.fold_left
+      (fun acc (j : T.job) ->
+        let work =
+          Array.fold_left (fun a (t : T.task) -> a + t.T.exec_time) 0 j.T.map_tasks
+          + Array.fold_left
+              (fun a (t : T.task) -> a + t.T.exec_time)
+              0 j.T.reduce_tasks
+        in
+        max acc (max j.T.deadline (j.T.earliest_start + work)))
+      0 jobs
+  in
+  (2 * span) + 60_000
+
+(* One candidate crash interval per draw; [filter_all_down] then drops any
+   candidate whose downtime could leave zero resources up (conservatively:
+   the candidate overlaps kept intervals of every other resource).  This
+   keeps the materialized plan deadlock-free by construction. *)
+let crash_candidates cfg ~seed ~horizon (r : T.resource) =
+  if cfg.crash_rate <= 0. then []
+  else begin
+    let rng = stream seed (r.T.res_id + 1) in
+    let lo_s, hi_s = cfg.repair_s in
+    let out = ref [] in
+    let t = ref 0. in
+    let stop = ref false in
+    while not !stop do
+      let u = Rng.unit_float rng in
+      let gap_ms = -.log (1. -. u) /. cfg.crash_rate *. 1000. in
+      t := !t +. gap_ms;
+      if !t >= float_of_int horizon then stop := true
+      else begin
+        let at = max 1 (int_of_float !t) in
+        let repair_ms = 1000 * Rng.int_incl rng (min lo_s hi_s) (max lo_s hi_s) in
+        let permanent = Rng.unit_float rng < cfg.permanent_p in
+        let rejoin = if permanent then None else Some (at + max 1 repair_ms) in
+        out := (r.T.res_id, at, rejoin) :: !out;
+        match rejoin with
+        | None -> stop := true
+        | Some rt -> t := float_of_int rt
+      end
+    done;
+    List.rev !out
+  end
+
+let filter_all_down ~m candidates =
+  let ends = function Some rt -> rt | None -> max_int in
+  let sorted =
+    List.sort
+      (fun (r1, a1, _) (r2, a2, _) -> compare (a1, r1) (a2, r2))
+      candidates
+  in
+  let kept = ref [] in
+  List.iter
+    (fun (res, at, rejoin) ->
+      let fin = ends rejoin in
+      let overlapping_others =
+        List.filter
+          (fun (res', at', rejoin') ->
+            res' <> res && at' < fin && ends rejoin' > at)
+          !kept
+        |> List.map (fun (res', _, _) -> res')
+        |> List.sort_uniq compare
+      in
+      if List.length overlapping_others + 1 < m then
+        kept := (res, at, rejoin) :: !kept)
+    sorted;
+  List.rev !kept
+
+let task_faults cfg ~seed (task : T.task) =
+  if cfg.straggler_p <= 0. && cfg.task_failure_p <= 0. then []
+  else begin
+    let rng = stream seed (task.T.task_id * 2 + 1) in
+    let f_lo, f_hi = cfg.straggler_factor in
+    let out = ref [] in
+    let k = ref 0 in
+    let continue = ref true in
+    while !continue do
+      (* fixed draw order per attempt: straggle?, factor, fail?, fraction *)
+      let straggle = Rng.unit_float rng < cfg.straggler_p in
+      let factor =
+        let lo = int_of_float (1000. *. min f_lo f_hi) in
+        let hi = int_of_float (1000. *. max f_lo f_hi) in
+        Rng.int_incl rng (max 1001 lo) (max 1001 hi)
+      in
+      if straggle then
+        out := Straggler { task = task.T.task_id; attempt = !k; factor_1000 = factor } :: !out;
+      let fails =
+        !k < cfg.max_failures && Rng.unit_float rng < cfg.task_failure_p
+      in
+      if fails then begin
+        let frac = Rng.int_incl rng 1 999 in
+        out :=
+          Task_failure { task = task.T.task_id; attempt = !k; frac_1000 = frac }
+          :: !out;
+        incr k
+      end
+      else continue := false
+    done;
+    List.rev !out
+  end
+
+let materialize cfg ~cluster ~jobs ~seed =
+  let m = Array.length cluster in
+  let horizon =
+    if cfg.horizon_ms > 0 then cfg.horizon_ms else auto_horizon jobs
+  in
+  let crashes =
+    (* a 1-resource cluster never crashes: losing the only resource would
+       deadlock every non-started task *)
+    if m < 2 then []
+    else
+      Array.to_list cluster
+      |> List.concat_map (crash_candidates cfg ~seed ~horizon)
+      |> filter_all_down ~m
+      |> List.map (fun (resource, at, rejoin) -> Crash { resource; at; rejoin })
+  in
+  let per_task =
+    List.concat_map
+      (fun (j : T.job) ->
+        let arr a = Array.to_list a in
+        List.concat_map (task_faults cfg ~seed) (arr j.T.map_tasks @ arr j.T.reduce_tasks))
+      jobs
+  in
+  crashes @ per_task
+
+(* --- JSON (de)serialization for repro files ----------------------------- *)
+
+module J = Obs.Json
+
+let fault_to_json = function
+  | Crash { resource; at; rejoin } ->
+      J.Obj
+        [
+          ("kind", J.String "crash");
+          ("resource", J.Int resource);
+          ("at", J.Int at);
+          ("rejoin", match rejoin with Some t -> J.Int t | None -> J.Null);
+        ]
+  | Task_failure { task; attempt; frac_1000 } ->
+      J.Obj
+        [
+          ("kind", J.String "task-failure");
+          ("task", J.Int task);
+          ("attempt", J.Int attempt);
+          ("frac_1000", J.Int frac_1000);
+        ]
+  | Straggler { task; attempt; factor_1000 } ->
+      J.Obj
+        [
+          ("kind", J.String "straggler");
+          ("task", J.Int task);
+          ("attempt", J.Int attempt);
+          ("factor_1000", J.Int factor_1000);
+        ]
+
+let fault_of_json j =
+  let int k = Option.bind (J.member k j) J.to_int_opt in
+  let req k = match int k with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "fault: missing %s" k)
+  in
+  match Option.bind (J.member "kind" j) J.to_string_opt with
+  | Some "crash" ->
+      let rejoin =
+        match J.member "rejoin" j with
+        | Some J.Null | None -> None
+        | Some v -> J.to_int_opt v
+      in
+      Crash { resource = req "resource"; at = req "at"; rejoin }
+  | Some "task-failure" ->
+      Task_failure
+        { task = req "task"; attempt = req "attempt"; frac_1000 = req "frac_1000" }
+  | Some "straggler" ->
+      Straggler
+        {
+          task = req "task";
+          attempt = req "attempt";
+          factor_1000 = req "factor_1000";
+        }
+  | Some k -> failwith ("fault: unknown kind " ^ k)
+  | None -> failwith "fault: missing kind"

@@ -1,0 +1,70 @@
+(** Seed-controlled fault injection for the open-system simulator.
+
+    The paper's evaluation (§VI) assumes resources and tasks never fail;
+    this module supplies the chaos axis: a {!config} of hazard rates is
+    {!materialize}d — deterministically, from one integer seed — into an
+    explicit, shrinkable {!plan} of discrete fault events that
+    {!Simulator.run} executes alongside the workload:
+
+    - {!Crash}: the resource drops at [at]; every in-flight task on it is
+      killed (its work so far is lost), and the resource re-accepts work at
+      [rejoin] ([None] = retired for good).
+    - {!Task_failure}: attempt [attempt] of the task aborts after
+      [frac_1000]/1000 of its (possibly inflated) duration; the task
+      re-enters the open set and is re-executed from scratch.
+    - {!Straggler}: attempt [attempt] runs [factor_1000]/1000 times its
+      nominal execution time (> 1000, i.e. always slower).
+
+    Determinism contract: the plan is a pure function of (config, cluster,
+    jobs, seed).  Per-entity decisions are drawn from streams keyed by the
+    entity id, so dropping a job or a fault from a scenario (DST shrinking)
+    never changes the faults assigned to the remaining entities.
+    [materialize] additionally guarantees at least one resource is up at
+    every instant (and injects at most [max_failures] failures per task),
+    so a fault plan can never make a workload uncompletable. *)
+
+type config = {
+  crash_rate : float;
+      (** expected crashes per resource per second of virtual time (a
+          Poisson hazard; 0 disables crashes) *)
+  repair_s : int * int;
+      (** inclusive bounds, in seconds, on the crash→rejoin delay *)
+  permanent_p : float;
+      (** probability that a crash never rejoins (retired resource) *)
+  straggler_p : float;  (** per-attempt straggler probability *)
+  straggler_factor : float * float;
+      (** execution-time inflation range; both ends must be > 1 *)
+  task_failure_p : float;  (** per-attempt failure probability *)
+  max_failures : int;  (** injected failures per task are bounded by this *)
+  horizon_ms : int;
+      (** crash events are drawn over [0, horizon); 0 (default) derives the
+          horizon from the workload span *)
+}
+
+val default : config
+(** All rates 0 (materializes to the empty plan), repair 30–120 s,
+    permanent_p 0.1, straggler factor 1.5–3.0, max_failures 2. *)
+
+type fault =
+  | Crash of { resource : int; at : int; rejoin : int option }
+  | Task_failure of { task : int; attempt : int; frac_1000 : int }
+  | Straggler of { task : int; attempt : int; factor_1000 : int }
+
+type plan = fault list
+
+val no_faults : plan
+
+val materialize :
+  config ->
+  cluster:Mapreduce.Types.resource array ->
+  jobs:Mapreduce.Types.job list ->
+  seed:int ->
+  plan
+(** Draw an explicit fault plan.  Equal inputs yield equal plans. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+val fault_to_json : fault -> Obs.Json.t
+
+val fault_of_json : Obs.Json.t -> fault
+(** @raise Failure on malformed input. *)

@@ -7,6 +7,10 @@ type t = {
   name : string;
   submit : now:int -> Mapreduce.Types.job -> unit;
   task_completed : now:int -> task_id:int -> unit;
+  task_started : now:int -> task_id:int -> exec_ms:int -> unit;
+  task_attempt_failed : now:int -> task_id:int -> unit;
+  resource_lost : now:int -> resource_id:int -> lost:int list -> unit;
+  resource_rejoined : now:int -> resource_id:int -> unit;
   react : now:int -> reaction;
   next_wake : now:int -> int option;
   overhead_seconds : unit -> float;
@@ -22,6 +26,17 @@ let of_mrcp mgr =
     name = "mrcp-rm";
     submit = (fun ~now job -> Mrcp.Manager.submit mgr ~now job);
     task_completed = (fun ~now:_ ~task_id:_ -> ());
+    task_started =
+      (fun ~now ~task_id ~exec_ms ->
+        Mrcp.Manager.task_started mgr ~now ~task_id ~exec_ms);
+    task_attempt_failed =
+      (fun ~now ~task_id -> Mrcp.Manager.task_attempt_failed mgr ~now ~task_id);
+    resource_lost =
+      (fun ~now ~resource_id ~lost ->
+        Mrcp.Manager.resource_lost mgr ~now ~resource_id ~lost);
+    resource_rejoined =
+      (fun ~now ~resource_id ->
+        Mrcp.Manager.resource_rejoined mgr ~now ~resource_id);
     react =
       (let last_version = ref (-1) in
        fun ~now ->
@@ -53,6 +68,16 @@ let of_slot_scheduler sched =
     task_completed =
       (fun ~now ~task_id ->
         Baselines.Slot_scheduler.task_completed sched ~now ~task_id);
+    task_started = (fun ~now:_ ~task_id:_ ~exec_ms:_ -> ());
+    task_attempt_failed =
+      (fun ~now ~task_id ->
+        Baselines.Slot_scheduler.task_attempt_failed sched ~now ~task_id);
+    resource_lost =
+      (fun ~now ~resource_id ~lost ->
+        Baselines.Slot_scheduler.resource_lost sched ~now ~resource_id ~lost);
+    resource_rejoined =
+      (fun ~now ~resource_id ->
+        Baselines.Slot_scheduler.resource_rejoined sched ~now ~resource_id);
     react = (fun ~now -> Launch (Baselines.Slot_scheduler.dispatches sched ~now));
     next_wake = (fun ~now:_ -> Baselines.Slot_scheduler.next_wake sched);
     overhead_seconds =

@@ -23,8 +23,22 @@ type t = {
   name : string;
   submit : now:int -> Mapreduce.Types.job -> unit;
   task_completed : now:int -> task_id:int -> unit;
+  task_started : now:int -> task_id:int -> exec_ms:int -> unit;
+      (** chaos only: an attempt started with an execution time that differs
+          from the nominal one (a {!Chaos.Straggler}); [exec_ms] is the
+          actual duration.  Never called in fault-free runs. *)
+  task_attempt_failed : now:int -> task_id:int -> unit;
+      (** chaos only: the running attempt aborted; the task must re-enter the
+          manager's open set and be re-executed from scratch *)
+  resource_lost : now:int -> resource_id:int -> lost:int list -> unit;
+      (** the resource crashed; [lost] are the task ids whose in-flight
+          attempts were killed.  An explicit topology notification — not an
+          overload of [react] — so immediate schedulers (MinEDF-WC) also
+          stop dispatching to dead resources. *)
+  resource_rejoined : now:int -> resource_id:int -> unit;
+      (** a crashed resource is accepting work again *)
   react : now:int -> reaction;
-      (** called after every submit / completion / wake *)
+      (** called after every submit / completion / fault / wake *)
   next_wake : now:int -> int option;
   overhead_seconds : unit -> float;
   max_invocation_seconds : unit -> float;

@@ -7,6 +7,17 @@
     wake-ups (deferred-job releases, §V.E).  Completion of a job's last task
     fixes the job's completion time CT_j.
 
+    An optional {!Chaos.plan} injects faults deterministically: resource
+    crashes (in-flight attempts die, their partial work is lost, the manager
+    is notified and must re-plan around the smaller cluster), rejoins,
+    straggler attempts (the executed duration is inflated at start and the
+    manager is told the real duration), and per-attempt task failures (the
+    attempt aborts part-way, the slot frees, the task re-enters).  Fault
+    events at the same instant as normal events settle last (rank 3), so a
+    completion at the crash instant counts as completed and a start at the
+    crash instant is killed in flight.  With an empty plan (the default) the
+    simulation is bit-identical to a chaos-free build.
+
     Metrics produced per run (paper §VI):
     - N: number of jobs that missed their deadline;
     - P: N / total jobs;
@@ -37,7 +48,9 @@ type results = {
       (** longest single scheduling pass (paper: "O was observed to be
           0.57s" at small m) *)
   makespan_ms : int;  (** completion of the last job *)
-  map_busy_ms : int;  (** Σ exec_time over executed map tasks *)
+  map_busy_ms : int;
+      (** Σ slot-occupancy over map attempts, including the consumed part of
+          crash-killed and failed attempts (lost work occupies slots too) *)
   reduce_busy_ms : int;
   map_utilization : float option;
       (** busy slot-time / (map slots × makespan); requires [~cluster] *)
@@ -46,6 +59,13 @@ type results = {
   metrics : Obs.Metrics.snapshot option;
       (** the driver's accumulated telemetry; [None] unless the manager ran
           with instrumentation enabled *)
+  crashes : int;  (** chaos: resource crash events executed *)
+  rejoins : int;
+  task_failures : int;  (** chaos: injected attempt failures executed *)
+  stragglers : int;  (** chaos: straggler attempts executed *)
+  lost_work_ms : int;
+      (** slot-time consumed by attempts that did not complete (crash-killed
+          partial work + failed-attempt partial work) *)
 }
 
 val run :
@@ -53,6 +73,7 @@ val run :
   ?journal:Obs.Journal.t ->
   ?metrics_every:int ->
   ?cluster:Mapreduce.Types.resource array ->
+  ?chaos:Chaos.plan ->
   driver:Driver.t ->
   jobs:Mapreduce.Types.job list ->
   unit ->
@@ -60,19 +81,26 @@ val run :
 (** Simulate to completion of every job.  With [~validate:true] the simulator
     additionally checks, as events execute, that no unit slot ever runs two
     tasks at once, that reduces never start before the job's maps are all
-    done, and that no task starts before its job's s_j — an end-to-end oracle
+    done, that no task starts before its job's s_j, that no task starts on a
+    crashed resource, and that no task completes twice; at run end it checks
+    that every submitted task completed (completeness) — an end-to-end oracle
     over the whole manager + matchmaker + simulator pipeline.
+
+    [~chaos] (default: {!Chaos.no_faults}) injects the given fault plan; the
+    run remains fully deterministic (the plan is data, not randomness).
 
     With [~journal] the simulator appends its side of the decision journal
     (the manager writes its own events through {!Mrcp.Manager.config}):
     one "arrival" event per job, a terminal "job-done" event with the
     lateness attribution split (queue wait / execution / solver overhead)
-    plus the job's final "sla" verdict, and a closing "run-end" event
-    carrying the run totals (Σ N_j, O) that {!Report.Audit} independently
-    recomputes.  [~metrics_every] (virtual ms, requires [~journal])
-    additionally dumps a metrics snapshot event at every multiple of the
-    period; snapshot bodies sit under the journal's wall key because
-    wall-clock histograms are not deterministic.
+    plus the job's final "sla" verdict, fault events ("resource-crash" with
+    the killed task ids and lost slot-time, "resource-rejoin",
+    "task-attempt-failed", "straggler"), and a closing "run-end" event
+    carrying the run totals (Σ N_j, O, fault counters, lost work) that
+    {!Report.Audit} independently recomputes.  [~metrics_every] (virtual ms,
+    requires [~journal]) additionally dumps a metrics snapshot event at
+    every multiple of the period; snapshot bodies sit under the journal's
+    wall key because wall-clock histograms are not deterministic.
     @raise Failure on a validation violation. *)
 
 val pp_results : Format.formatter -> results -> unit

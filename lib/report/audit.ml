@@ -27,6 +27,11 @@ type report = {
   latencies_s : float array;
   n_late : int;
   total_overhead_s : float;
+  crashes : int;
+  rejoins : int;
+  task_failures : int;
+  stragglers : int;
+  lost_work_ms : int;
   checks : check list;
 }
 
@@ -90,10 +95,13 @@ let of_string text =
     let latencies = ref [] in
     let total_overhead = ref 0. in
     let run_end = ref None in
+    let crashes = ref 0 and rejoins = ref 0 in
+    let task_failures = ref 0 and stragglers = ref 0 in
+    let lost_work = ref 0 in
     List.iter
       (fun (line, j) ->
         (match int_field "v" j with
-        | Some 1 -> ()
+        | Some (1 | 2) -> ()
         | Some v ->
             failwith (Printf.sprintf "line %d: unsupported version %d" line v)
         | None -> failwith (Printf.sprintf "line %d: missing version" line));
@@ -141,6 +149,23 @@ let of_string text =
             let from = Option.value (str_field "from" j) ~default:"" in
             let t = req "t" line (int_field "t" j) in
             a.a_transitions <- (t, from, to_) :: a.a_transitions
+        | "resource-crash" ->
+            incr crashes;
+            lost_work := !lost_work + req "lost_ms" line (int_field "lost_ms" j)
+        | "resource-rejoin" -> incr rejoins
+        | "task-attempt-failed" ->
+            incr task_failures;
+            lost_work :=
+              !lost_work + req "wasted_ms" line (int_field "wasted_ms" j)
+        | "straggler" ->
+            incr stragglers;
+            (* sanity: the inflated duration must strictly exceed nominal *)
+            let nominal = req "exec_ms" line (int_field "exec_ms" j) in
+            let inflated = req "inflated_ms" line (int_field "inflated_ms" j) in
+            if inflated <= nominal then
+              failwith
+                (Printf.sprintf "line %d: straggler inflated_ms %d <= exec_ms %d"
+                   line inflated nominal)
         | "run-end" -> run_end := Some (line, j)
         | "snapshot" -> ()
         | _ -> () (* forward compatibility: ignore unknown events *))
@@ -227,6 +252,37 @@ let of_string text =
                  (Option.bind (wall_field "o_per_job_s" re) J.to_float_opt))
               o_per_job;
           ]
+          @
+          (* v2 fault totals: present on every v2 run-end line; absent from
+             archived v1 journals, whose fault counters are necessarily 0 *)
+          (match int_field "crashes" re with
+          | None ->
+              if !crashes + !rejoins + !task_failures + !stragglers > 0 then
+                [
+                  {
+                    name = "fault events require v2 run-end totals";
+                    expected = "crashes field present";
+                    actual = "absent";
+                    ok = false;
+                  };
+                ]
+              else []
+          | Some c ->
+              [
+                ic "crashes (run-end = resource-crash events)" c !crashes;
+                ic "rejoins (run-end = resource-rejoin events)"
+                  (req "rejoins" line (int_field "rejoins" re))
+                  !rejoins;
+                ic "task_failures (run-end = task-attempt-failed events)"
+                  (req "task_failures" line (int_field "task_failures" re))
+                  !task_failures;
+                ic "stragglers (run-end = straggler events)"
+                  (req "stragglers" line (int_field "stragglers" re))
+                  !stragglers;
+                ic "lost_work_ms (run-end = Σ lost_ms + wasted_ms)"
+                  (req "lost_work_ms" line (int_field "lost_work_ms" re))
+                  !lost_work;
+              ])
     in
     Ok
       {
@@ -240,6 +296,11 @@ let of_string text =
         latencies_s = Array.of_list (List.rev !latencies);
         n_late;
         total_overhead_s = !total_overhead;
+        crashes = !crashes;
+        rejoins = !rejoins;
+        task_failures = !task_failures;
+        stragglers = !stragglers;
+        lost_work_ms = !lost_work;
         checks;
       }
   with Failure msg -> Error msg
@@ -273,6 +334,13 @@ let render r =
        "journal: %d events, %d jobs completed, %d invocations (%d plan-cache \
         hits)\n"
        (List.length r.events) (List.length r.jobs) r.invokes r.cache_hits);
+  if r.crashes + r.rejoins + r.task_failures + r.stragglers > 0 then
+    add
+      (Printf.sprintf
+         "chaos: %d crashes (%d rejoins), %d failed attempts, %d stragglers, \
+          %.1fs of slot-time lost\n"
+         r.crashes r.rejoins r.task_failures r.stragglers
+         (float_of_int r.lost_work_ms /. 1000.));
   add
     (Printf.sprintf
        "decision latency: p50 %ss, p99 %ss, max %ss over %d invocations\n\n"

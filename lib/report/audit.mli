@@ -42,6 +42,13 @@ type report = {
   latencies_s : float array;  (** invoke elapsed, journal order *)
   n_late : int;  (** recomputed Σ N_j *)
   total_overhead_s : float;  (** recomputed Σ invoke elapsed *)
+  crashes : int;  (** counted "resource-crash" events (v2 journals) *)
+  rejoins : int;
+  task_failures : int;
+  stragglers : int;
+  lost_work_ms : int;
+      (** recomputed Σ crash [lost_ms] + attempt-failure [wasted_ms],
+          cross-checked against the run-end total *)
   checks : check list;
 }
 

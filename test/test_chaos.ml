@@ -1,0 +1,369 @@
+(* Chaos engineering: seed-controlled fault injection and the DST harness.
+
+   Three layers of coverage:
+   - unit semantics of each fault kind (straggler / attempt failure / crash)
+     against hand-computed timelines;
+   - qcheck properties of [Chaos.materialize] (determinism, per-entity
+     stream stability under job removal, the never-uncompletable guarantees)
+     and of recovery (every random fault plan still completes every job,
+     deterministically, under the full invariant oracle);
+   - the DST harness itself: chaos-off bit-identity, pass verdicts on
+     random scenarios, and the mutation self-test (a deliberately broken
+     manager is caught and shrinks to <= 2 jobs + 1 fault). *)
+
+module T = Mapreduce.Types
+module Chaos = Opensim.Chaos
+module Sim = Opensim.Simulator
+
+let mrcp_driver ?(manager = ref None) cluster =
+  let solver =
+    {
+      Cp.Solver.default_options with
+      Cp.Solver.exact_task_limit = 400;
+      fail_limit = 2_000;
+      time_limit = 1e9;
+    }
+  in
+  let m =
+    Mrcp.Manager.create ~cluster
+      {
+        Mrcp.Manager.default_config with
+        Mrcp.Manager.solver;
+        validate = true;
+        deferral_window = Some 2_000;
+      }
+  in
+  manager := Some m;
+  Opensim.Driver.of_mrcp m
+
+(* --- chaos-off bit-identity --------------------------------------------- *)
+
+let workload () =
+  Gen.reset_tasks ();
+  [
+    Gen.mk_job ~id:0 ~deadline:6_000 ~maps:[ 1_000; 1_000; 500 ]
+      ~reduces:[ 800 ] ();
+    Gen.mk_job ~id:1 ~arrival:400 ~est:1_000 ~deadline:9_000
+      ~maps:[ 700; 700 ] ~reduces:[ 300; 300 ] ();
+    Gen.mk_job ~id:2 ~arrival:2_500 ~deadline:12_000 ~maps:[ 1_500 ]
+      ~reduces:[] ();
+  ]
+
+let test_chaos_off_bit_identity () =
+  let cluster = T.uniform_cluster ~m:2 ~map_capacity:1 ~reduce_capacity:1 in
+  let run ~with_empty_plan =
+    Gen.reset_tasks ();
+    let driver = mrcp_driver cluster in
+    if with_empty_plan then
+      Sim.run ~validate:true ~chaos:Chaos.no_faults ~driver ~jobs:(workload ())
+        ()
+    else Sim.run ~validate:true ~driver ~jobs:(workload ()) ()
+  in
+  let a = run ~with_empty_plan:false in
+  let b = run ~with_empty_plan:true in
+  let completions r =
+    List.map
+      (fun (o : Sim.job_outcome) -> (o.Sim.job.T.id, o.Sim.completion))
+      r.Sim.outcomes
+  in
+  Alcotest.(check (list (pair int int)))
+    "identical completions" (completions a) (completions b);
+  Alcotest.(check int) "identical event counts" a.Sim.events_executed
+    b.Sim.events_executed;
+  Alcotest.(check int) "no crashes" 0 b.Sim.crashes;
+  Alcotest.(check int) "no failures" 0 b.Sim.task_failures;
+  Alcotest.(check int) "no stragglers" 0 b.Sim.stragglers;
+  Alcotest.(check int) "no lost work" 0 b.Sim.lost_work_ms
+
+(* --- unit semantics of each fault kind ---------------------------------- *)
+
+let one_task_job ~exec =
+  Gen.reset_tasks ();
+  let j = Gen.mk_job ~id:0 ~deadline:100_000 ~maps:[ exec ] ~reduces:[] () in
+  (j, j.T.map_tasks.(0).T.task_id)
+
+let test_straggler_semantics () =
+  let cluster = T.uniform_cluster ~m:1 ~map_capacity:1 ~reduce_capacity:1 in
+  let job, task = one_task_job ~exec:1_000 in
+  let manager = ref None in
+  let driver = mrcp_driver ~manager cluster in
+  let r =
+    Sim.run ~validate:true
+      ~chaos:[ Chaos.Straggler { task; attempt = 0; factor_1000 = 2_000 } ]
+      ~driver ~jobs:[ job ] ()
+  in
+  Alcotest.(check int) "completion doubled" 2_000 r.Sim.makespan_ms;
+  Alcotest.(check int) "one straggler" 1 r.Sim.stragglers;
+  Alcotest.(check int) "nothing lost" 0 r.Sim.lost_work_ms;
+  (* the slot was genuinely occupied for the inflated duration *)
+  Alcotest.(check int) "busy accounting inflated" 2_000 r.Sim.map_busy_ms;
+  let m = Option.get !manager in
+  Alcotest.(check bool) "manager was told (session reset)" true
+    (Mrcp.Manager.fault_resets m >= 1)
+
+let test_attempt_failure_semantics () =
+  let cluster = T.uniform_cluster ~m:1 ~map_capacity:1 ~reduce_capacity:1 in
+  let job, task = one_task_job ~exec:1_000 in
+  let driver = mrcp_driver cluster in
+  let r =
+    Sim.run ~validate:true
+      ~chaos:[ Chaos.Task_failure { task; attempt = 0; frac_1000 = 500 } ]
+      ~driver ~jobs:[ job ] ()
+  in
+  (* fails 500 ms in, re-executes from scratch: 500 + 1000 *)
+  Alcotest.(check int) "completion delayed by wasted half" 1_500
+    r.Sim.makespan_ms;
+  Alcotest.(check int) "one failure" 1 r.Sim.task_failures;
+  Alcotest.(check int) "half the attempt lost" 500 r.Sim.lost_work_ms;
+  Alcotest.(check int) "busy = wasted + full rerun" 1_500 r.Sim.map_busy_ms
+
+let test_crash_semantics () =
+  let cluster = T.uniform_cluster ~m:2 ~map_capacity:1 ~reduce_capacity:1 in
+  let job, _task = one_task_job ~exec:1_000 in
+  let manager = ref None in
+  let driver = mrcp_driver ~manager cluster in
+  let r =
+    Sim.run ~validate:true
+      ~chaos:[ Chaos.Crash { resource = 0; at = 500; rejoin = Some 50_000 } ]
+      ~driver ~jobs:[ job ] ()
+  in
+  (* the attempt on r0 dies 500 ms in; the re-solve restarts it on r1 *)
+  Alcotest.(check int) "killed and re-executed" 1_500 r.Sim.makespan_ms;
+  Alcotest.(check int) "one crash" 1 r.Sim.crashes;
+  Alcotest.(check int) "one rejoin" 1 r.Sim.rejoins;
+  Alcotest.(check int) "partial work lost" 500 r.Sim.lost_work_ms;
+  let m = Option.get !manager in
+  Alcotest.(check int) "resource back up at the end" 0
+    (Mrcp.Manager.resources_down m);
+  Alcotest.(check bool) "certificate dropped" true
+    (Mrcp.Manager.fault_resets m >= 2 (* crash + rejoin *))
+
+let test_crash_baseline_recovers () =
+  let cluster = T.uniform_cluster ~m:2 ~map_capacity:1 ~reduce_capacity:1 in
+  let job, _ = one_task_job ~exec:1_000 in
+  let driver =
+    Opensim.Driver.of_slot_scheduler
+      (Baselines.Slot_scheduler.create ~cluster
+         ~policy:Baselines.Slot_scheduler.Min_edf_wc)
+  in
+  let r =
+    Sim.run ~validate:true
+      ~chaos:[ Chaos.Crash { resource = 0; at = 500; rejoin = None } ]
+      ~driver ~jobs:[ job ] ()
+  in
+  Alcotest.(check int) "re-executed on the survivor" 1_500 r.Sim.makespan_ms;
+  Alcotest.(check int) "partial work lost" 500 r.Sim.lost_work_ms
+
+(* --- materialize properties --------------------------------------------- *)
+
+let arbitrary_chaos_input =
+  let open QCheck.Gen in
+  let gen =
+    let* m = int_range 1 4 in
+    let* cap = int_range 1 2 in
+    let* n_jobs = int_range 1 5 in
+    let* jobs = flatten_l (List.init n_jobs (fun id -> Gen.gen_job id)) in
+    let* seed = int_range 0 10_000 in
+    return (T.uniform_cluster ~m ~map_capacity:cap ~reduce_capacity:cap, jobs, seed)
+  in
+  QCheck.make gen
+
+let chatty_config =
+  {
+    Chaos.default with
+    Chaos.crash_rate = 0.05;
+    straggler_p = 0.3;
+    task_failure_p = 0.3;
+  }
+
+let test_materialize_deterministic =
+  QCheck.Test.make ~name:"materialize is a pure function of its inputs"
+    ~count:50 arbitrary_chaos_input (fun (cluster, jobs, seed) ->
+      Chaos.materialize chatty_config ~cluster ~jobs ~seed
+      = Chaos.materialize chatty_config ~cluster ~jobs ~seed)
+
+let task_fault_key = function
+  | Chaos.Task_failure { task; _ } | Chaos.Straggler { task; _ } -> Some task
+  | Chaos.Crash _ -> None
+
+let test_materialize_stable_under_job_removal =
+  QCheck.Test.make
+    ~name:"dropping a job never changes the remaining tasks' faults" ~count:50
+    arbitrary_chaos_input (fun (cluster, jobs, seed) ->
+      QCheck.assume (List.length jobs > 1);
+      let full = Chaos.materialize chatty_config ~cluster ~jobs ~seed in
+      let reduced_jobs = List.filteri (fun i _ -> i > 0) jobs in
+      let reduced =
+        Chaos.materialize chatty_config ~cluster ~jobs:reduced_jobs ~seed
+      in
+      let surviving_ids =
+        List.concat_map
+          (fun j -> List.map (fun t -> t.T.task_id) (T.job_tasks j))
+          reduced_jobs
+      in
+      let restrict plan =
+        List.filter
+          (fun f ->
+            match task_fault_key f with
+            | Some t -> List.mem t surviving_ids
+            | None -> false)
+          plan
+      in
+      restrict full = restrict reduced)
+
+let test_materialize_bounds =
+  QCheck.Test.make
+    ~name:"materialized plans respect the never-uncompletable guarantees"
+    ~count:50 arbitrary_chaos_input (fun (cluster, jobs, seed) ->
+      let m = Array.length cluster in
+      let plan = Chaos.materialize chatty_config ~cluster ~jobs ~seed in
+      let failures = Hashtbl.create 16 in
+      List.iter
+        (function
+          | Chaos.Crash { at; rejoin; _ } ->
+              if m = 1 then QCheck.Test.fail_report "crash on a 1-node cluster";
+              if at < 0 then QCheck.Test.fail_report "negative crash time";
+              (match rejoin with
+              | Some r when r <= at -> QCheck.Test.fail_report "rejoin <= at"
+              | _ -> ())
+          | Chaos.Task_failure { task; frac_1000; _ } ->
+              if frac_1000 < 1 || frac_1000 > 999 then
+                QCheck.Test.fail_report "frac out of (0,1)";
+              Hashtbl.replace failures task
+                (1 + Option.value (Hashtbl.find_opt failures task) ~default:0)
+          | Chaos.Straggler { factor_1000; _ } ->
+              if factor_1000 <= 1_000 then
+                QCheck.Test.fail_report "straggler factor <= 1")
+        plan;
+      Hashtbl.iter
+        (fun _ n ->
+          if n > chatty_config.Chaos.max_failures then
+            QCheck.Test.fail_report "more than max_failures failures on a task")
+        failures;
+      (* at least one resource up at every crash instant *)
+      let crashes =
+        List.filter_map
+          (function
+            | Chaos.Crash { resource; at; rejoin } -> Some (resource, at, rejoin)
+            | _ -> None)
+          plan
+      in
+      List.for_all
+        (fun (_, at, _) ->
+          let down_now =
+            List.filter
+              (fun (_, at', rejoin') ->
+                at' <= at
+                && match rejoin' with None -> true | Some r -> r > at)
+              crashes
+            |> List.map (fun (r, _, _) -> r)
+            |> List.sort_uniq compare
+          in
+          List.length down_now < m)
+        crashes)
+
+let test_fault_json_roundtrip =
+  QCheck.Test.make ~name:"fault JSON round-trips" ~count:50
+    arbitrary_chaos_input (fun (cluster, jobs, seed) ->
+      let plan = Chaos.materialize chatty_config ~cluster ~jobs ~seed in
+      List.for_all
+        (fun f -> Chaos.fault_of_json (Chaos.fault_to_json f) = f)
+        plan)
+
+(* --- recovery invariants over random fault plans ------------------------ *)
+
+(* The heavyweight property: any materialized fault plan, on any manager,
+   completes every job under the full oracle — twice, byte-identically.
+   [Dst.check] is exactly that, so drive it through scenario seeds. *)
+let test_recovery_invariants =
+  QCheck.Test.make ~name:"random fault plans recover under the oracle"
+    ~count:15
+    QCheck.(make Gen.(int_range 0 100_000))
+    (fun seed ->
+      match Dst.check (Dst.generate ~seed) with
+      | Dst.Pass _ -> true
+      | Dst.Violation { message } -> QCheck.Test.fail_report message)
+
+let test_scenario_json_roundtrip =
+  QCheck.Test.make ~name:"scenario repro files round-trip" ~count:25
+    QCheck.(make Gen.(int_range 0 100_000))
+    (fun seed ->
+      let s = Dst.generate ~seed in
+      Dst.of_json (Dst.to_json s) = s)
+
+(* --- the shrinker bites ------------------------------------------------- *)
+
+let find_violation ~mutation =
+  let rec go seed =
+    if seed > 50 then Alcotest.fail "no violation found in 50 seeds"
+    else
+      let s = Dst.generate ~seed in
+      match Dst.run_once ~mutation s with
+      | Error msg -> (s, msg)
+      | Ok _ -> go (seed + 1)
+  in
+  go 1
+
+let test_mutation_caught_and_shrunk () =
+  let mutation = Dst.Drop_attempt_failed in
+  let scenario, violation = find_violation ~mutation in
+  let r = Dst.shrink ~mutation ~fuel:200 scenario ~violation in
+  let jobs = List.length r.Dst.minimal.Dst.jobs in
+  let faults = List.length r.Dst.minimal.Dst.faults in
+  Alcotest.(check bool) "minimal repro <= 2 jobs" true (jobs <= 2);
+  Alcotest.(check bool) "minimal repro <= 1 fault" true (faults <= 1);
+  (* the minimal scenario still violates, and still does after a JSON
+     round-trip (the repro file reproduces the bug) *)
+  (match Dst.run_once ~mutation r.Dst.minimal with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "minimal scenario no longer violates");
+  match Dst.run_once ~mutation (Dst.of_json (Dst.to_json r.Dst.minimal)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "round-tripped repro no longer violates"
+
+let test_unmutated_repro_passes () =
+  (* the same minimal repro with the mutation removed must be clean: the
+     violation is the mutation's fault, not the scenario's *)
+  let mutation = Dst.Drop_attempt_failed in
+  let scenario, violation = find_violation ~mutation in
+  let r = Dst.shrink ~mutation ~fuel:200 scenario ~violation in
+  match Dst.check r.Dst.minimal with
+  | Dst.Pass _ -> ()
+  | Dst.Violation { message } ->
+      Alcotest.failf "unmutated repro violates: %s" message
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "chaos"
+    [
+      ( "bit-identity",
+        [ Alcotest.test_case "chaos off = no chaos arg" `Quick
+            test_chaos_off_bit_identity ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "straggler inflates in place" `Quick
+            test_straggler_semantics;
+          Alcotest.test_case "attempt failure re-executes" `Quick
+            test_attempt_failure_semantics;
+          Alcotest.test_case "crash kills and re-plans" `Quick
+            test_crash_semantics;
+          Alcotest.test_case "baseline recovers from a crash" `Quick
+            test_crash_baseline_recovers;
+        ] );
+      ( "materialize",
+        [
+          q test_materialize_deterministic;
+          q test_materialize_stable_under_job_removal;
+          q test_materialize_bounds;
+          q test_fault_json_roundtrip;
+        ] );
+      ( "recovery",
+        [ q test_recovery_invariants; q test_scenario_json_roundtrip ] );
+      ( "shrinker",
+        [
+          Alcotest.test_case "mutation caught, shrunk to <= 2 jobs + 1 fault"
+            `Slow test_mutation_caught_and_shrunk;
+          Alcotest.test_case "unmutated minimal repro is clean" `Slow
+            test_unmutated_repro_passes;
+        ] );
+    ]

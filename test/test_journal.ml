@@ -86,7 +86,7 @@ let test_lines_parse () =
       | Error e -> Alcotest.failf "line %d does not parse: %s" (i + 1) e
       | Ok ev ->
           Alcotest.(check (option int))
-            "versioned" (Some 1)
+            "versioned" (Some Obs.Journal.version)
             (Option.bind (Obs.Json.member "v" ev) Obs.Json.to_int_opt);
           Alcotest.(check (option int))
             "seq contiguous" (Some i)
@@ -221,7 +221,7 @@ let test_audit_rejects_garbage () =
         (String.length e > 0 && String.sub e 0 6 = "line 1"));
   match
     Report.Audit.of_string
-      {|{"v":2,"seq":0,"t":0,"ev":"arrival","job":0,"est":0,"deadline":1,"tasks":1}|}
+      {|{"v":3,"seq":0,"t":0,"ev":"arrival","job":0,"est":0,"deadline":1,"tasks":1}|}
   with
   | Ok _ -> Alcotest.fail "accepted future version"
   | Error _ -> ()
